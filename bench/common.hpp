@@ -1,0 +1,75 @@
+// Shared plumbing for the figure/table reproduction binaries: matrix
+// formatting, shape-check assertions, and the standard CLI.
+//
+// Every bench prints (a) the configuration in use, (b) the table/series the
+// paper reports, and (c) a SHAPE CHECK section asserting the paper's
+// qualitative claims. A failed claim makes the binary exit non-zero so the
+// suite doubles as a regression harness for the reproduction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/svg_chart.hpp"
+
+namespace chicsim::bench {
+
+/// Standard options shared by the experiment benches: bandwidth, seeds,
+/// job count (scale-down knob for quick runs).
+void add_standard_options(util::CliParser& cli);
+
+/// Build the Table 1 base config from parsed standard options.
+[[nodiscard]] core::SimulationConfig config_from_cli(const util::CliParser& cli);
+
+/// Seed list from the --seeds=a,b,c option.
+[[nodiscard]] std::vector<std::uint64_t> seeds_from_cli(const util::CliParser& cli);
+
+/// Render one metric of a run matrix as the paper's figure layout: one row
+/// per ES algorithm, one column per DS algorithm.
+[[nodiscard]] std::string render_matrix(
+    const std::vector<core::CellResult>& cells,
+    const std::vector<core::EsAlgorithm>& es_algorithms,
+    const std::vector<core::DsAlgorithm>& ds_algorithms,
+    const std::function<double(const core::CellResult&)>& metric, const std::string& title,
+    int precision);
+
+/// Find a cell in a run matrix.
+[[nodiscard]] const core::CellResult& cell_of(const std::vector<core::CellResult>& cells,
+                                              core::EsAlgorithm es, core::DsAlgorithm ds);
+
+/// If --csv was given, write the run matrix there (core::write_matrix_csv
+/// format) and print where it went.
+void maybe_write_matrix_csv(const util::CliParser& cli,
+                            const std::vector<core::CellResult>& cells);
+
+/// Build a figure-style grouped bar chart (one group per ES, one series per
+/// DS) from a run matrix.
+[[nodiscard]] util::GroupedBarChart make_matrix_chart(
+    const std::vector<core::CellResult>& cells,
+    const std::vector<core::EsAlgorithm>& es_algorithms,
+    const std::vector<core::DsAlgorithm>& ds_algorithms,
+    const std::function<double(const core::CellResult&)>& metric, const std::string& title,
+    const std::string& y_label);
+
+/// If --svg-prefix was given, write `chart` to <prefix><suffix>.svg.
+void maybe_write_svg(const util::CliParser& cli, const std::string& suffix,
+                     const util::GroupedBarChart& chart);
+
+/// Shape-check collector: prints PASS/FAIL per claim and remembers failures.
+class ShapeChecks {
+ public:
+  /// Record and print one claim.
+  void check(bool ok, const std::string& claim);
+
+  /// Print the summary line; returns the process exit code (0 = all pass).
+  [[nodiscard]] int finish() const;
+
+ private:
+  int passed_ = 0;
+  int failed_ = 0;
+};
+
+}  // namespace chicsim::bench

@@ -1,0 +1,107 @@
+// Watching decoupled replication dissolve a hotspot.
+//
+// The paper's explanation for JobDataPresent's turnaround is dynamic:
+// initially all jobs for a popular dataset pile onto its single master
+// site; the Dataset Scheduler notices the popularity, replicates, and the
+// External Scheduler immediately starts spreading jobs across the replicas.
+// This example records a timeline of the run and renders the transient —
+// deepest site queue, replica population, and instantaneous utilization —
+// side by side for DataDoNothing vs DataLeastLoaded, then writes both
+// series as CSV for plotting.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+
+#include "core/grid.hpp"
+#include "core/timeline.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace chicsim;
+
+struct TimelineRun {
+  std::vector<core::TimelineSample> samples;
+  core::RunMetrics metrics;
+};
+
+TimelineRun run_with_timeline(core::SimulationConfig cfg, core::DsAlgorithm ds,
+                              double period_s, const std::string& csv_path) {
+  cfg.ds = ds;
+  core::Grid grid(cfg);
+  core::TimelineRecorder recorder(grid, period_s);
+  grid.run();
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    recorder.write_csv(out);
+  }
+  return TimelineRun{recorder.samples(), grid.metrics()};
+}
+
+void render(const std::vector<core::TimelineSample>& a,
+            const std::vector<core::TimelineSample>& b, std::size_t rows) {
+  std::printf("%10s | %28s | %28s\n", "", "DataDoNothing", "DataLeastLoaded");
+  std::printf("%10s | %8s %8s %9s | %8s %8s %9s\n", "time (s)", "max-q", "replicas", "busy",
+              "max-q", "replicas", "busy");
+  std::size_t n = std::max(a.size(), b.size());
+  std::size_t step = std::max<std::size_t>(1, n / rows);
+  for (std::size_t i = 0; i < n; i += step) {
+    const auto* sa = i < a.size() ? &a[i] : &a.back();
+    const auto* sb = i < b.size() ? &b[i] : &b.back();
+    std::printf("%10.0f | %8zu %8zu %8.0f%% | %8zu %8zu %8.0f%%\n",
+                std::max(sa->time, sb->time), sa->max_site_queue, sa->total_replicas,
+                100.0 * sa->busy_fraction, sb->max_site_queue, sb->total_replicas,
+                100.0 * sb->busy_fraction);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("convergence",
+                      "timeline view of replication dissolving the JobDataPresent hotspot");
+  cli.add_option("jobs", "3000", "workload size");
+  cli.add_option("seed", "101", "workload seed");
+  cli.add_option("period", "600", "sampling period in virtual seconds");
+  cli.add_option("csv-prefix", "", "if set, write <prefix>_{none,repl}.csv timelines");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    core::SimulationConfig cfg;
+    cfg.total_jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    cfg.es = core::EsAlgorithm::JobDataPresent;
+    cfg.validate();
+    double period = cli.get_double("period");
+    std::string prefix = cli.get("csv-prefix");
+
+    TimelineRun none = run_with_timeline(
+        cfg, core::DsAlgorithm::DataDoNothing, period,
+        prefix.empty() ? std::string{} : prefix + "_none.csv");
+    TimelineRun repl = run_with_timeline(
+        cfg, core::DsAlgorithm::DataLeastLoaded, period,
+        prefix.empty() ? std::string{} : prefix + "_repl.csv");
+
+    std::printf("ES = JobDataPresent, %zu jobs. 'max-q' is the deepest site queue (the\n"
+                "hotspot), 'replicas' the replica-catalog population, 'busy' instantaneous\n"
+                "processor usage.\n\n",
+                cfg.total_jobs);
+    render(none.samples, repl.samples, 20);
+
+    std::printf("\nwith replication the hotspot queue drains and the grid finishes in\n"
+                "%.0f s instead of %.0f s (%.1fx).\n",
+                repl.metrics.makespan_s, none.metrics.makespan_s,
+                none.metrics.makespan_s / repl.metrics.makespan_s);
+    if (!prefix.empty()) {
+      std::printf("timelines written to %s_none.csv and %s_repl.csv\n", prefix.c_str(),
+                  prefix.c_str());
+    }
+    return repl.metrics.makespan_s < none.metrics.makespan_s ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,94 @@
+// HEP analysis campaign — the scenario that motivates the paper's
+// introduction: a physics community (CMS-scale parameters) submits waves of
+// analysis jobs against shared hot datasets, and the operations team wants
+// to know how the grid behaves under the recommended configuration
+// (JobDataPresent + active replication) versus the naive one.
+//
+// The example runs both configurations on the same workload seed, prints a
+// side-by-side comparison, and breaks the response time into queueing,
+// data-wait and compute — the kind of report an operations dashboard would
+// show.
+#include <cstdio>
+#include <exception>
+
+#include "core/grid.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+chicsim::core::RunMetrics run(const chicsim::core::SimulationConfig& config) {
+  chicsim::core::Grid grid(config);
+  grid.run();
+  return grid.metrics();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chicsim;
+  util::CliParser cli("hep_analysis",
+                      "compare naive vs recommended scheduling for a HEP analysis campaign");
+  cli.add_option("jobs", "6000", "number of analysis jobs in the campaign");
+  cli.add_option("seed", "2026", "workload seed");
+  cli.add_option("bandwidth", "10", "wide-area link bandwidth in MB/s");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    core::SimulationConfig base;
+    base.total_jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    base.link_bandwidth_mbps = cli.get_double("bandwidth");
+    base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    base.validate();
+
+    // The configuration most sites start with: run everything where it was
+    // submitted, fetch data on demand, no replication.
+    core::SimulationConfig naive = base;
+    naive.es = core::EsAlgorithm::JobLocal;
+    naive.ds = core::DsAlgorithm::DataDoNothing;
+
+    // The paper's recommendation: send jobs to the data, replicate hot
+    // datasets asynchronously.
+    core::SimulationConfig recommended = base;
+    recommended.es = core::EsAlgorithm::JobDataPresent;
+    recommended.ds = core::DsAlgorithm::DataLeastLoaded;
+
+    std::printf("HEP analysis campaign: %zu jobs, %d users, %.0f MB/s links\n\n",
+                base.total_jobs, 120, base.link_bandwidth_mbps);
+
+    core::RunMetrics naive_m = run(naive);
+    core::RunMetrics rec_m = run(recommended);
+
+    util::TablePrinter table({"metric", "JobLocal+DoNothing", "JobDataPresent+Replication"});
+    auto row = [&](const char* name, double a, double b, int precision) {
+      table.add_row({name, util::format_fixed(a, precision), util::format_fixed(b, precision)});
+    };
+    row("campaign makespan (h)", naive_m.makespan_s / 3600.0, rec_m.makespan_s / 3600.0, 2);
+    row("avg response time (s)", naive_m.avg_response_time_s, rec_m.avg_response_time_s, 1);
+    row("p95 response time (s)", naive_m.p95_response_time_s, rec_m.p95_response_time_s, 1);
+    row("avg queue wait (s)", naive_m.avg_queue_wait_s, rec_m.avg_queue_wait_s, 1);
+    row("avg data wait (s)", naive_m.avg_data_wait_s, rec_m.avg_data_wait_s, 1);
+    row("avg compute (s)", naive_m.avg_compute_s, rec_m.avg_compute_s, 1);
+    row("data moved per job (MB)", naive_m.avg_data_per_job_mb, rec_m.avg_data_per_job_mb, 1);
+    row("processor idle (%)", 100.0 * naive_m.idle_fraction, 100.0 * rec_m.idle_fraction, 1);
+    row("remote fetches", static_cast<double>(naive_m.remote_fetches),
+        static_cast<double>(rec_m.remote_fetches), 0);
+    row("replications", static_cast<double>(naive_m.replications),
+        static_cast<double>(rec_m.replications), 0);
+    std::fputs(table.render().c_str(), stdout);
+
+    double speedup = naive_m.avg_response_time_s / rec_m.avg_response_time_s;
+    std::printf("\nDecoupled data scheduling answers %.1fx faster while moving %.0f%% less data.\n",
+                speedup,
+                100.0 * (1.0 - rec_m.avg_data_per_job_mb /
+                                   (naive_m.avg_data_per_job_mb > 0.0
+                                        ? naive_m.avg_data_per_job_mb
+                                        : 1.0)));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

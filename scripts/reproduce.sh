@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every table/figure
+# (console tables + shape checks, CSVs and SVGs), and archive the outputs.
+#
+#   scripts/reproduce.sh [output-dir]
+#
+# Exits non-zero if any test or any paper shape-check fails.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/reproduction-output}"
+mkdir -p "$out"
+
+echo "== configure + build"
+cmake -B "$repo/build" -G Ninja -S "$repo" >/dev/null
+cmake --build "$repo/build" >/dev/null
+
+echo "== tests"
+ctest --test-dir "$repo/build" --output-on-failure 2>&1 | tee "$out/test_output.txt" | tail -3
+
+echo "== tables and figures"
+status=0
+for bench in "$repo"/build/bench/bench_*; do
+  name="$(basename "$bench")"
+  [ "$name" = bench_micro_engine ] && continue
+  echo "-- $name"
+  args=()
+  case "$name" in
+    bench_fig3_response_and_data|bench_fig4_idle_time|bench_fig5_bandwidth)
+      args+=("--csv=$out/$name.csv" "--svg-prefix=$out/") ;;
+  esac
+  if ! "$bench" "${args[@]}" > "$out/$name.txt" 2>&1; then
+    echo "   SHAPE CHECK FAILURE (see $out/$name.txt)"
+    status=1
+  else
+    tail -1 "$out/$name.txt" | sed 's/^/   /'
+  fi
+done
+
+echo "== microbenchmarks"
+"$repo/build/bench/bench_micro_engine" --benchmark_min_time=0.05s \
+  > "$out/bench_micro_engine.txt" 2>&1 || true
+
+echo "== done: outputs in $out"
+exit "$status"

@@ -1,0 +1,162 @@
+#include "core/algorithms.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace chicsim::core {
+
+const char* to_string(EsAlgorithm a) {
+  switch (a) {
+    case EsAlgorithm::JobRandom: return "JobRandom";
+    case EsAlgorithm::JobLeastLoaded: return "JobLeastLoaded";
+    case EsAlgorithm::JobDataPresent: return "JobDataPresent";
+    case EsAlgorithm::JobLocal: return "JobLocal";
+    case EsAlgorithm::JobAdaptive: return "JobAdaptive";
+    case EsAlgorithm::JobBestEstimate: return "JobBestEstimate";
+  }
+  return "?";
+}
+
+const char* to_string(DsAlgorithm a) {
+  switch (a) {
+    case DsAlgorithm::DataDoNothing: return "DataDoNothing";
+    case DsAlgorithm::DataRandom: return "DataRandom";
+    case DsAlgorithm::DataLeastLoaded: return "DataLeastLoaded";
+    case DsAlgorithm::DataBestClient: return "DataBestClient";
+    case DsAlgorithm::DataFastSpread: return "DataFastSpread";
+  }
+  return "?";
+}
+
+const char* to_string(LsAlgorithm a) {
+  switch (a) {
+    case LsAlgorithm::Fifo: return "Fifo";
+    case LsAlgorithm::FifoSkip: return "FifoSkip";
+    case LsAlgorithm::Sjf: return "Sjf";
+  }
+  return "?";
+}
+
+const char* to_string(ReplicaSelection a) {
+  switch (a) {
+    case ReplicaSelection::Closest: return "Closest";
+    case ReplicaSelection::Random: return "Random";
+    case ReplicaSelection::LeastLoadedSource: return "LeastLoadedSource";
+  }
+  return "?";
+}
+
+const char* to_string(NeighborScope a) {
+  switch (a) {
+    case NeighborScope::Grid: return "Grid";
+    case NeighborScope::Region: return "Region";
+  }
+  return "?";
+}
+
+const char* to_string(EsMapping a) {
+  switch (a) {
+    case EsMapping::Distributed: return "Distributed";
+    case EsMapping::Centralized: return "Centralized";
+  }
+  return "?";
+}
+
+const char* to_string(SubmissionMode a) {
+  switch (a) {
+    case SubmissionMode::ClosedLoop: return "ClosedLoop";
+    case SubmissionMode::OpenLoop: return "OpenLoop";
+  }
+  return "?";
+}
+
+const char* to_string(TopologyKind a) {
+  switch (a) {
+    case TopologyKind::Hierarchy: return "Hierarchy";
+    case TopologyKind::Star: return "Star";
+  }
+  return "?";
+}
+
+namespace {
+template <typename Enum>
+Enum parse_enum(const std::string& name, const std::vector<Enum>& values,
+                const char* family) {
+  std::string lowered = util::to_lower(name);
+  for (Enum v : values) {
+    if (util::to_lower(to_string(v)) == lowered) return v;
+  }
+  throw util::SimError(std::string("unknown ") + family + " algorithm: " + name);
+}
+}  // namespace
+
+EsAlgorithm es_from_string(const std::string& name) {
+  return parse_enum(name, all_es_algorithms(), "external-scheduler");
+}
+
+DsAlgorithm ds_from_string(const std::string& name) {
+  return parse_enum(name, all_ds_algorithms(), "dataset-scheduler");
+}
+
+LsAlgorithm ls_from_string(const std::string& name) {
+  static const std::vector<LsAlgorithm> all{LsAlgorithm::Fifo, LsAlgorithm::FifoSkip,
+                                            LsAlgorithm::Sjf};
+  return parse_enum(name, all, "local-scheduler");
+}
+
+ReplicaSelection replica_selection_from_string(const std::string& name) {
+  static const std::vector<ReplicaSelection> all{
+      ReplicaSelection::Closest, ReplicaSelection::Random,
+      ReplicaSelection::LeastLoadedSource};
+  return parse_enum(name, all, "replica-selection");
+}
+
+NeighborScope neighbor_scope_from_string(const std::string& name) {
+  static const std::vector<NeighborScope> all{NeighborScope::Grid, NeighborScope::Region};
+  return parse_enum(name, all, "neighbor-scope");
+}
+
+EsMapping es_mapping_from_string(const std::string& name) {
+  static const std::vector<EsMapping> all{EsMapping::Distributed, EsMapping::Centralized};
+  return parse_enum(name, all, "es-mapping");
+}
+
+SubmissionMode submission_mode_from_string(const std::string& name) {
+  static const std::vector<SubmissionMode> all{SubmissionMode::ClosedLoop,
+                                               SubmissionMode::OpenLoop};
+  return parse_enum(name, all, "submission-mode");
+}
+
+TopologyKind topology_kind_from_string(const std::string& name) {
+  static const std::vector<TopologyKind> all{TopologyKind::Hierarchy, TopologyKind::Star};
+  return parse_enum(name, all, "topology-kind");
+}
+
+const std::vector<EsAlgorithm>& paper_es_algorithms() {
+  static const std::vector<EsAlgorithm> v{
+      EsAlgorithm::JobRandom, EsAlgorithm::JobLeastLoaded, EsAlgorithm::JobDataPresent,
+      EsAlgorithm::JobLocal};
+  return v;
+}
+
+const std::vector<DsAlgorithm>& paper_ds_algorithms() {
+  static const std::vector<DsAlgorithm> v{
+      DsAlgorithm::DataDoNothing, DsAlgorithm::DataRandom, DsAlgorithm::DataLeastLoaded};
+  return v;
+}
+
+const std::vector<EsAlgorithm>& all_es_algorithms() {
+  static const std::vector<EsAlgorithm> v{
+      EsAlgorithm::JobRandom,   EsAlgorithm::JobLeastLoaded, EsAlgorithm::JobDataPresent,
+      EsAlgorithm::JobLocal,    EsAlgorithm::JobAdaptive,    EsAlgorithm::JobBestEstimate};
+  return v;
+}
+
+const std::vector<DsAlgorithm>& all_ds_algorithms() {
+  static const std::vector<DsAlgorithm> v{
+      DsAlgorithm::DataDoNothing, DsAlgorithm::DataRandom, DsAlgorithm::DataLeastLoaded,
+      DsAlgorithm::DataBestClient, DsAlgorithm::DataFastSpread};
+  return v;
+}
+
+}  // namespace chicsim::core

@@ -1,0 +1,147 @@
+#include "core/es_policies.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace chicsim::core {
+
+namespace {
+
+/// Among `candidates`, keep those with minimal load; return one uniformly
+/// at random (deterministic given the rng stream).
+data::SiteIndex least_loaded_of(const std::vector<data::SiteIndex>& candidates,
+                                const GridView& view, util::Rng& rng) {
+  CHICSIM_ASSERT_MSG(!candidates.empty(), "least_loaded_of with no candidates");
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (auto s : candidates) best = std::min(best, view.site_load(s));
+  std::vector<data::SiteIndex> ties;
+  for (auto s : candidates) {
+    if (view.site_load(s) == best) ties.push_back(s);
+  }
+  return ties[rng.index(ties.size())];
+}
+
+}  // namespace
+
+data::SiteIndex JobRandomEs::select_site(const site::Job& job, const GridView& view,
+                                         util::Rng& rng) {
+  (void)job;
+  return static_cast<data::SiteIndex>(rng.index(view.num_sites()));
+}
+
+data::SiteIndex JobLeastLoadedEs::select_site(const site::Job& job, const GridView& view,
+                                              util::Rng& rng) {
+  (void)job;
+  std::vector<data::SiteIndex> all(view.num_sites());
+  for (std::size_t s = 0; s < all.size(); ++s) all[s] = static_cast<data::SiteIndex>(s);
+  return least_loaded_of(all, view, rng);
+}
+
+data::SiteIndex JobDataPresentEs::select_site(const site::Job& job, const GridView& view,
+                                              util::Rng& rng) {
+  CHICSIM_ASSERT_MSG(!job.inputs.empty(), "job without inputs");
+  // Score each site by locally present input megabytes; the best scorers
+  // qualify, the least loaded of them wins.
+  std::vector<data::SiteIndex> qualifying;
+  double best_mb = -1.0;
+  for (std::size_t s = 0; s < view.num_sites(); ++s) {
+    auto site = static_cast<data::SiteIndex>(s);
+    double mb = 0.0;
+    for (auto input : job.inputs) {
+      if (view.site_has_dataset(site, input)) mb += view.dataset_size_mb(input);
+    }
+    if (mb > best_mb + util::kEpsilon) {
+      best_mb = mb;
+      qualifying.clear();
+      qualifying.push_back(site);
+    } else if (mb >= best_mb - util::kEpsilon) {
+      qualifying.push_back(site);
+    }
+  }
+  CHICSIM_ASSERT(!qualifying.empty());
+  return least_loaded_of(qualifying, view, rng);
+}
+
+data::SiteIndex JobLocalEs::select_site(const site::Job& job, const GridView& view,
+                                        util::Rng& rng) {
+  (void)view;
+  (void)rng;
+  return job.origin_site;
+}
+
+double JobAdaptiveEs::estimate_completion_s(const site::Job& job, data::SiteIndex candidate,
+                                            const GridView& view) {
+  // Queue estimate: waiting jobs share the site's processors; use this
+  // job's own (speed-adjusted) runtime as the per-job service-time proxy
+  // (the policy has no oracle for other jobs' runtimes).
+  double service_s = job.runtime_s / view.site_speed_factor(candidate);
+  double per_element_backlog = static_cast<double>(view.site_load(candidate)) /
+                               static_cast<double>(view.site_compute_elements(candidate));
+  double queue_est = per_element_backlog * service_s;
+
+  // Transfer estimate: each missing input streams from its closest replica
+  // at the bottleneck bandwidth degraded by current congestion.
+  double transfer_est = 0.0;
+  for (auto input : job.inputs) {
+    if (view.site_has_dataset(candidate, input)) continue;
+    const auto& holders = view.replica_sites(input);
+    CHICSIM_ASSERT_MSG(!holders.empty(), "dataset with no replicas");
+    data::SiteIndex source = holders.front();
+    std::size_t best_hops = view.hops(source, candidate);
+    for (auto h : holders) {
+      std::size_t d = view.hops(h, candidate);
+      if (d < best_hops) {
+        best_hops = d;
+        source = h;
+      }
+    }
+    double bw = view.path_bandwidth_mbps(source, candidate);
+    double flows = 1.0 + static_cast<double>(view.path_congestion(source, candidate));
+    transfer_est += view.dataset_size_mb(input) / (bw / flows);
+  }
+  return std::max(queue_est, transfer_est) + service_s;
+}
+
+data::SiteIndex JobAdaptiveEs::select_site(const site::Job& job, const GridView& view,
+                                           util::Rng& rng) {
+  CHICSIM_ASSERT_MSG(!job.inputs.empty(), "job without inputs");
+  // Candidates: run at home, run at the data, or run where it is quiet.
+  std::vector<data::SiteIndex> candidates;
+  candidates.push_back(job.origin_site);
+  JobDataPresentEs data_present;
+  candidates.push_back(data_present.select_site(job, view, rng));
+  JobLeastLoadedEs least_loaded;
+  candidates.push_back(least_loaded.select_site(job, view, rng));
+
+  data::SiteIndex best = candidates.front();
+  double best_est = std::numeric_limits<double>::infinity();
+  for (auto c : candidates) {
+    double est = estimate_completion_s(job, c, view);
+    if (est < best_est - util::kEpsilon) {
+      best_est = est;
+      best = c;
+    }
+  }
+  return best;
+}
+
+data::SiteIndex JobBestEstimateEs::select_site(const site::Job& job, const GridView& view,
+                                               util::Rng& rng) {
+  (void)rng;
+  CHICSIM_ASSERT_MSG(!job.inputs.empty(), "job without inputs");
+  data::SiteIndex best = 0;
+  double best_est = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < view.num_sites(); ++s) {
+    auto candidate = static_cast<data::SiteIndex>(s);
+    double est = JobAdaptiveEs::estimate_completion_s(job, candidate, view);
+    if (est < best_est - util::kEpsilon) {
+      best_est = est;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace chicsim::core

@@ -1,0 +1,83 @@
+// Structured event tracing.
+//
+// The Grid emits a typed event at every significant state change — the job
+// lifecycle, data fetches, replication pushes, cache evictions. Observers
+// subscribe before run(); the bundled EventLog observer retains the stream
+// for post-hoc analysis (per-job traces, causality checks in tests, CSV
+// export for external tooling). Tracing is pay-for-what-you-use: with no
+// observers attached the emit path is a null check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/replica_catalog.hpp"
+#include "site/job.hpp"
+#include "util/units.hpp"
+
+namespace chicsim::core {
+
+enum class GridEventType : std::uint8_t {
+  JobSubmitted,          ///< user handed the job to its External Scheduler
+  JobDispatched,         ///< placement decided; queued at the execution site
+  JobDataReady,          ///< all inputs locally available
+  JobStarted,            ///< occupying a compute element
+  JobComputeDone,        ///< runtime elapsed; processor released
+  JobCompleted,          ///< fully done (output landed, if any)
+  FetchStarted,          ///< job-driven transfer began (site_a -> site_b)
+  FetchCompleted,        ///< ...and arrived
+  ReplicationStarted,    ///< DS push began (site_a -> site_b)
+  ReplicationCompleted,  ///< ...and arrived
+  ReplicaStored,         ///< a copy became locally available at site_a
+  ReplicaEvicted,        ///< LRU displaced a cached copy at site_a
+};
+
+[[nodiscard]] const char* to_string(GridEventType type);
+inline constexpr std::size_t kNumGridEventTypes = 12;
+
+/// One trace record. Fields not meaningful for the type are left at their
+/// sentinel values (kNoJob / kNoDataset / kNoSite / 0).
+struct GridEvent {
+  GridEventType type = GridEventType::JobSubmitted;
+  util::SimTime time = 0.0;
+  site::JobId job = site::kNoJob;
+  data::DatasetId dataset = data::kNoDataset;
+  data::SiteIndex site_a = data::kNoSite;  ///< primary site (source/holder)
+  data::SiteIndex site_b = data::kNoSite;  ///< secondary site (destination)
+  util::Megabytes mb = 0.0;
+};
+
+/// Observer interface; implementations must not mutate the grid.
+class GridObserver {
+ public:
+  virtual ~GridObserver() = default;
+  virtual void on_event(const GridEvent& event) = 0;
+};
+
+/// Retaining observer: keeps every event, offers queries and CSV export.
+class EventLog final : public GridObserver {
+ public:
+  void on_event(const GridEvent& event) override;
+
+  [[nodiscard]] const std::vector<GridEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t count(GridEventType type) const;
+
+  /// All events touching one job, in emission order.
+  [[nodiscard]] std::vector<GridEvent> job_trace(site::JobId job) const;
+
+  /// All events touching one dataset, in emission order.
+  [[nodiscard]] std::vector<GridEvent> dataset_trace(data::DatasetId dataset) const;
+
+  void write_csv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  std::vector<GridEvent> events_;
+  std::uint64_t counts_[kNumGridEventTypes] = {};
+};
+
+}  // namespace chicsim::core

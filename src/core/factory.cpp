@@ -1,0 +1,45 @@
+#include "core/factory.hpp"
+
+#include "core/ds_policies.hpp"
+#include "core/es_policies.hpp"
+#include "core/ls_policies.hpp"
+#include "util/error.hpp"
+
+namespace chicsim::core {
+
+std::unique_ptr<ExternalScheduler> make_external_scheduler(EsAlgorithm a) {
+  switch (a) {
+    case EsAlgorithm::JobRandom: return std::make_unique<JobRandomEs>();
+    case EsAlgorithm::JobLeastLoaded: return std::make_unique<JobLeastLoadedEs>();
+    case EsAlgorithm::JobDataPresent: return std::make_unique<JobDataPresentEs>();
+    case EsAlgorithm::JobLocal: return std::make_unique<JobLocalEs>();
+    case EsAlgorithm::JobAdaptive: return std::make_unique<JobAdaptiveEs>();
+    case EsAlgorithm::JobBestEstimate: return std::make_unique<JobBestEstimateEs>();
+  }
+  throw util::SimError("unknown external scheduler algorithm");
+}
+
+std::unique_ptr<LocalScheduler> make_local_scheduler(LsAlgorithm a) {
+  switch (a) {
+    case LsAlgorithm::Fifo: return std::make_unique<FifoLs>();
+    case LsAlgorithm::FifoSkip: return std::make_unique<FifoSkipLs>();
+    case LsAlgorithm::Sjf: return std::make_unique<SjfLs>();
+  }
+  throw util::SimError("unknown local scheduler algorithm");
+}
+
+std::unique_ptr<DatasetScheduler> make_dataset_scheduler(DsAlgorithm a,
+                                                         double replication_threshold) {
+  switch (a) {
+    case DsAlgorithm::DataDoNothing: return std::make_unique<DataDoNothingDs>();
+    case DsAlgorithm::DataRandom: return std::make_unique<DataRandomDs>(replication_threshold);
+    case DsAlgorithm::DataLeastLoaded:
+      return std::make_unique<DataLeastLoadedDs>(replication_threshold);
+    case DsAlgorithm::DataBestClient:
+      return std::make_unique<DataBestClientDs>(replication_threshold);
+    case DsAlgorithm::DataFastSpread: return std::make_unique<DataFastSpreadDs>();
+  }
+  throw util::SimError("unknown dataset scheduler algorithm");
+}
+
+}  // namespace chicsim::core

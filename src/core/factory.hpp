@@ -1,0 +1,19 @@
+// Construction of scheduler policy objects from algorithm identifiers.
+#pragma once
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "core/scheduler.hpp"
+
+namespace chicsim::core {
+
+[[nodiscard]] std::unique_ptr<ExternalScheduler> make_external_scheduler(EsAlgorithm a);
+
+[[nodiscard]] std::unique_ptr<LocalScheduler> make_local_scheduler(LsAlgorithm a);
+
+/// `replication_threshold` applies to the threshold-driven strategies.
+[[nodiscard]] std::unique_ptr<DatasetScheduler> make_dataset_scheduler(
+    DsAlgorithm a, double replication_threshold);
+
+}  // namespace chicsim::core

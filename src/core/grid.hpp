@@ -1,0 +1,241 @@
+// The Data Grid driver: builds every substrate from a SimulationConfig,
+// wires the ES/LS/DS policies to the event engine, executes the Data Grid
+// Execution (job submissions, allocations, executions, data movements — §3)
+// and collects the metrics of §5.2.
+//
+// Event flow for one job (paper semantics):
+//
+//   user submit        -> External Scheduler picks the execution site
+//   dispatch           -> job enters the site queue; fetches for missing
+//                         inputs start IMMEDIATELY ("the data transfer
+//                         needed for a job starts while the job is still in
+//                         the processor queue", §5.2)
+//   data ready + CE    -> Local Scheduler starts the job; it runs for
+//                         runtime_s on one compute element
+//   completion         -> metrics recorded; the job's user submits its next
+//                         job (strict per-user sequence, §5.1)
+//
+// Asynchronously, each site's Dataset Scheduler is evaluated every
+// ds_check_period_s and may push popular datasets to other sites.
+//
+// The Grid also implements GridView — the information-service boundary the
+// policies observe the world through.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "core/metrics.hpp"
+#include "core/scheduler.hpp"
+#include "data/catalog.hpp"
+#include "data/replica_catalog.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/transfer_manager.hpp"
+#include "sim/engine.hpp"
+#include "site/site.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace chicsim::core {
+
+class Grid final : public GridView {
+ public:
+  /// Build the whole world (topology, sites, datasets, placement, workload,
+  /// policies) deterministically from the config. Throws util::SimError on
+  /// invalid configuration.
+  explicit Grid(const SimulationConfig& config);
+
+  /// Replay a pre-built workload instead of generating one (trace runs).
+  Grid(const SimulationConfig& config, workload::Workload workload);
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  /// Replace a scheduler policy with a user-provided implementation (the
+  /// framework's extension point). Must be called before run(); the config
+  /// enums then only describe the defaults that were replaced.
+  void set_external_scheduler(std::unique_ptr<ExternalScheduler> es);
+  void set_local_scheduler(std::unique_ptr<LocalScheduler> ls);
+  void set_dataset_scheduler(std::unique_ptr<DatasetScheduler> ds);
+
+  /// Subscribe to the structured event trace (see core/events.hpp). The
+  /// observer is non-owning and must outlive the run; attach before run()
+  /// to see the whole Data Grid Execution.
+  void add_observer(GridObserver* observer);
+
+  /// Fault injection: at virtual time `at`, scale the effective bandwidth
+  /// of `link` to nominal x `scale` (e.g. 0.01 models a near-failure; 1.0
+  /// restores). May be called multiple times per link with increasing
+  /// times. Must be called before run().
+  void inject_link_degradation(net::LinkId link, util::SimTime at, double scale);
+
+  /// Execute until every job has completed. Callable once.
+  void run();
+
+  /// Metrics of the completed run. Valid after run().
+  [[nodiscard]] const RunMetrics& metrics() const;
+
+  /// Audit the grid's cross-component invariants; throws util::SimError
+  /// with a description on the first violation. After run() it additionally
+  /// checks quiescence (empty queues, no running jobs, no busy elements).
+  /// Cheap enough to call from tests after every scenario.
+  void audit() const;
+
+  // --- component access (tests, examples, benches) ---
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] const net::TransferManager& transfers() const { return *transfers_; }
+  [[nodiscard]] const data::DatasetCatalog& datasets() const { return catalog_; }
+  [[nodiscard]] const data::ReplicaCatalog& replicas() const { return *replica_catalog_; }
+  [[nodiscard]] const site::Site& site_at(data::SiteIndex s) const;
+  [[nodiscard]] const site::Job& job(site::JobId id) const;
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] util::Logger& logger() { return logger_; }
+
+  /// Total replication pushes started (diagnostic).
+  [[nodiscard]] std::uint64_t replications_started() const { return replications_started_; }
+
+  // --- GridView (the information service) ---
+  [[nodiscard]] std::size_t num_sites() const override { return sites_.size(); }
+  [[nodiscard]] std::size_t site_load(data::SiteIndex s) const override;
+  [[nodiscard]] std::size_t site_compute_elements(data::SiteIndex s) const override;
+  [[nodiscard]] double site_speed_factor(data::SiteIndex s) const override;
+  [[nodiscard]] const std::vector<data::SiteIndex>& replica_sites(
+      data::DatasetId dataset) const override;
+  [[nodiscard]] bool site_has_dataset(data::SiteIndex s,
+                                      data::DatasetId dataset) const override;
+  [[nodiscard]] util::Megabytes dataset_size_mb(data::DatasetId dataset) const override;
+  [[nodiscard]] std::size_t hops(data::SiteIndex a, data::SiteIndex b) const override;
+  [[nodiscard]] const std::vector<data::SiteIndex>& neighbors(
+      data::SiteIndex s) const override;
+  [[nodiscard]] std::size_t path_congestion(data::SiteIndex a,
+                                            data::SiteIndex b) const override;
+  [[nodiscard]] util::MbPerSec path_bandwidth_mbps(data::SiteIndex a,
+                                                   data::SiteIndex b) const override;
+  [[nodiscard]] util::SimTime now() const override { return engine_.now(); }
+
+ private:
+  struct User {
+    site::UserId id = 0;
+    std::size_t next_job = 0;  ///< index into its workload job list
+  };
+
+  /// A fetch in flight toward one site, shared by all jobs awaiting it.
+  struct PendingFetch {
+    net::TransferId transfer = net::kNoTransfer;
+    data::SiteIndex source = data::kNoSite;
+    std::vector<site::JobId> waiters;
+  };
+
+  class ReplCtx;  // per-site ReplicationContext adapter
+
+  void build_world();
+  void place_masters();
+  void instantiate_jobs();
+
+  void submit_next_job(site::UserId user);
+  /// Run the ES decision for one submitted job and dispatch it.
+  void decide_and_dispatch(site::Job& job);
+  /// Centralized mapping: pop and decide the next queued submission.
+  void central_process_next();
+  void dispatch(site::Job& job, data::SiteIndex dest);
+  /// Ensure one input of a queued job is (or becomes) locally available.
+  void request_input(site::Job& job, data::DatasetId input);
+  void on_fetch_complete(data::SiteIndex dest, data::DatasetId dataset);
+  void try_start_jobs(data::SiteIndex s);
+  /// Compute finished: free the processor, release inputs, ship output
+  /// home when the output extension is active.
+  void on_compute_complete(site::JobId id);
+  /// The job is fully done (output landed, if any): record and continue
+  /// the user's closed loop.
+  void finalize_job(site::JobId id);
+
+  /// Source-replica selection for a fetch toward `dest` (replica_selection
+  /// policy; never returns dest).
+  [[nodiscard]] data::SiteIndex choose_source(data::DatasetId dataset, data::SiteIndex dest);
+
+  /// Register an arrived copy at `s`: storage add (with LRU eviction),
+  /// replica-catalog sync. Returns the storage outcome so callers can react
+  /// to transient (over-capacity) placement.
+  data::StorageManager::AddOutcome store_replica(data::SiteIndex s,
+                                                 data::DatasetId dataset);
+
+  /// Record an access to `dataset` served by `source`: popularity at the
+  /// serving site, client book-keeping for DataBestClient (`client` is the
+  /// job's *origin* site — the community generating the demand), and the
+  /// DataFastSpread hook when an actual network fetch toward `fetch_dest`
+  /// is involved (kNoSite for local hits).
+  void record_access(data::DatasetId dataset, data::SiteIndex source,
+                     data::SiteIndex client, data::SiteIndex fetch_dest);
+
+  void start_replication(data::SiteIndex from, data::DatasetId dataset,
+                         data::SiteIndex dest);
+  void evaluate_dataset_schedulers();
+  void finish_run();
+
+  [[nodiscard]] site::Job& job_mut(site::JobId id);
+
+  /// Stamp the current virtual time on `event` and fan it out.
+  void emit(GridEvent event);
+
+  SimulationConfig config_;
+  util::Logger logger_;
+  sim::Engine engine_;
+  net::Topology topology_;
+  std::unique_ptr<net::Routing> routing_;
+  std::unique_ptr<net::TransferManager> transfers_;
+  data::DatasetCatalog catalog_;
+  std::unique_ptr<data::ReplicaCatalog> replica_catalog_;
+  std::vector<site::Site> sites_;
+  std::vector<std::vector<data::SiteIndex>> neighbors_;
+  std::unique_ptr<workload::Workload> workload_;
+  std::vector<site::Job> jobs_;  ///< by id-1
+  std::vector<User> users_;
+
+  std::unique_ptr<ExternalScheduler> es_;
+  std::unique_ptr<LocalScheduler> ls_;
+  std::unique_ptr<DatasetScheduler> ds_;
+  std::unique_ptr<sim::PeriodicTimer> ds_timer_;
+
+  /// Centralized ES mapping: submissions awaiting their scheduling decision.
+  std::deque<site::JobId> central_queue_;
+  bool central_busy_ = false;
+
+  /// Per destination site: datasets currently being fetched there.
+  std::vector<std::unordered_map<data::DatasetId, PendingFetch>> pending_fetches_;
+  /// Replication pushes in flight, keyed (dataset, dest) to avoid duplicates.
+  std::unordered_set<std::uint64_t> pending_pushes_;
+  /// In-flight replication pushes per destination site.
+  std::vector<std::size_t> inbound_pushes_;
+  /// Per site: how often each remote site fetched each local dataset.
+  std::vector<std::unordered_map<data::DatasetId,
+                                 std::unordered_map<data::SiteIndex, std::uint64_t>>>
+      requester_counts_;
+
+  util::Rng rng_es_;
+  util::Rng rng_ds_;
+  util::Rng rng_fetch_;
+  util::Rng rng_arrivals_;
+
+  /// Stale-information snapshot (see SimulationConfig::info_staleness_s).
+  mutable std::vector<std::size_t> load_snapshot_;
+  mutable util::SimTime load_snapshot_time_ = -1.0;
+
+  std::vector<GridObserver*> observers_;
+
+  MetricsCollector collector_;
+  RunMetrics metrics_;
+  std::uint64_t completed_jobs_ = 0;
+  std::uint64_t remote_fetches_ = 0;
+  std::uint64_t replications_started_ = 0;
+  bool ran_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace chicsim::core

@@ -1,0 +1,36 @@
+#include "core/ls_policies.hpp"
+
+namespace chicsim::core {
+
+site::JobId FifoLs::pick_next(const std::deque<site::JobId>& queue,
+                              const std::function<const site::Job&(site::JobId)>& job_of) {
+  if (queue.empty()) return site::kNoJob;
+  const site::Job& head = job_of(queue.front());
+  return head.data_ready() ? head.id : site::kNoJob;
+}
+
+site::JobId FifoSkipLs::pick_next(
+    const std::deque<site::JobId>& queue,
+    const std::function<const site::Job&(site::JobId)>& job_of) {
+  for (site::JobId id : queue) {
+    if (job_of(id).data_ready()) return id;
+  }
+  return site::kNoJob;
+}
+
+site::JobId SjfLs::pick_next(const std::deque<site::JobId>& queue,
+                             const std::function<const site::Job&(site::JobId)>& job_of) {
+  site::JobId best = site::kNoJob;
+  double best_runtime = 0.0;
+  for (site::JobId id : queue) {
+    const site::Job& job = job_of(id);
+    if (!job.data_ready()) continue;
+    if (best == site::kNoJob || job.runtime_s < best_runtime) {
+      best = id;
+      best_runtime = job.runtime_s;
+    }
+  }
+  return best;
+}
+
+}  // namespace chicsim::core

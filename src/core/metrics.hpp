@@ -1,0 +1,89 @@
+// Metrics collection (§5.2).
+//
+// "For each experiment, we measured: average amount of data transferred
+//  (bandwidth consumed) per job; average job completion time
+//  (max(queue time, data transfer time) + compute time); average idle time
+//  for a processor."
+//
+// MetricsCollector accumulates per-job records during a run; finalize()
+// folds in the run-level counters (network totals, processor busy
+// integrals, storage statistics) once the last job completes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transfer_manager.hpp"
+#include "site/job.hpp"
+#include "site/site.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace chicsim::core {
+
+/// Everything a single simulation run reports.
+struct RunMetrics {
+  std::uint64_t jobs_completed = 0;
+  util::SimTime makespan_s = 0.0;  ///< completion time of the last job
+
+  // Figure 3a / Figure 5
+  double avg_response_time_s = 0.0;
+  double p95_response_time_s = 0.0;
+  util::Summary response_summary;
+
+  // Decomposition of response time
+  double avg_placement_wait_s = 0.0;  ///< dispatch - submit (centralized ES)
+  double avg_queue_wait_s = 0.0;   ///< start - dispatch
+  double avg_data_wait_s = 0.0;    ///< data_ready - dispatch
+  double avg_compute_s = 0.0;      ///< compute_done - start
+  double avg_output_wait_s = 0.0;  ///< finish - compute_done (output extension)
+
+  // Figure 3b
+  double avg_data_per_job_mb = 0.0;         ///< all network traffic / jobs
+  double avg_fetch_per_job_mb = 0.0;        ///< job-driven fetches only
+  double avg_replication_per_job_mb = 0.0;  ///< DS pushes only
+  double avg_output_per_job_mb = 0.0;       ///< output returns (extension)
+  double total_mb_hops = 0.0;
+
+  // Figure 4
+  double idle_fraction = 0.0;  ///< aggregate over all compute elements
+  double utilization = 0.0;
+
+  // Network occupancy (fraction of the makespan each link carried traffic)
+  double avg_link_busy_fraction = 0.0;
+  double max_link_busy_fraction = 0.0;
+
+  // Diagnostics
+  std::uint64_t remote_fetches = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t local_data_hits = 0;   ///< inputs already present at dispatch
+  std::uint64_t local_data_misses = 0; ///< inputs that had to be fetched
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t jobs_run_at_origin = 0; ///< placement locality
+};
+
+class MetricsCollector {
+ public:
+  /// Record one completed job (all timestamps must be final).
+  void record_job(const site::Job& job);
+
+  /// Fold in run-level state. `sites` supplies busy integrals (pools must
+  /// be settled to `makespan`), `transfers` the network totals.
+  [[nodiscard]] RunMetrics finalize(util::SimTime makespan,
+                                    const std::vector<site::Site>& sites,
+                                    const net::TransferManager& transfers) const;
+
+  [[nodiscard]] std::uint64_t jobs_recorded() const { return response_samples_.size(); }
+
+ private:
+  util::OnlineStats response_;
+  util::OnlineStats placement_wait_;
+  util::OnlineStats queue_wait_;
+  util::OnlineStats data_wait_;
+  util::OnlineStats compute_;
+  util::OnlineStats output_wait_;
+  std::vector<double> response_samples_;
+  std::uint64_t jobs_at_origin_ = 0;
+};
+
+}  // namespace chicsim::core

@@ -1,0 +1,35 @@
+// Human- and machine-readable reports over completed runs.
+//
+// Collects the rendering logic shared by the examples and bench binaries:
+// a run summary, a per-site breakdown (placement balance, storage hit
+// rates, compute utilization), and CSV export of run/cell metrics for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/grid.hpp"
+
+namespace chicsim::core {
+
+/// Multi-line text summary of one run's headline metrics.
+[[nodiscard]] std::string render_run_summary(const RunMetrics& metrics);
+
+/// Per-site breakdown table of a finished Grid: jobs dispatched/completed,
+/// compute elements, utilization, storage hit rate, evictions.
+[[nodiscard]] std::string render_site_table(const Grid& grid);
+
+/// CSV row set for one run (single header + single row).
+void write_metrics_csv(const RunMetrics& metrics, std::ostream& out);
+
+/// CSV export of an experiment matrix: one row per (es, ds) cell.
+void write_matrix_csv(const std::vector<CellResult>& cells, std::ostream& out);
+
+/// CSV export of every job's record (ids, placement, timestamps, input
+/// megabytes) — the raw material for response-time distribution analysis.
+void write_jobs_csv(const Grid& grid, std::ostream& out);
+
+}  // namespace chicsim::core

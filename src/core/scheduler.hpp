@@ -1,0 +1,144 @@
+// The scheduling framework (§3): the three policy interfaces and the
+// observation interface they schedule against.
+//
+// The paper's key architectural claim is that scheduling logic decomposes
+// into an External Scheduler (job placement), Local Scheduler (per-site
+// ordering), and Dataset Scheduler (asynchronous replication), with each
+// policy consuming only *external information* — site loads, replica
+// locations — obtainable from an information service. GridView is exactly
+// that information service boundary: policies cannot reach into the Grid's
+// internals, only query what MDS/NWS-style services of the era exposed.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "data/replica_catalog.hpp"
+#include "site/job.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace chicsim::core {
+
+/// Read-only view of the Grid available to scheduling policies.
+class GridView {
+ public:
+  virtual ~GridView() = default;
+
+  [[nodiscard]] virtual std::size_t num_sites() const = 0;
+
+  /// The paper's load metric: number of jobs waiting to run at the site.
+  [[nodiscard]] virtual std::size_t site_load(data::SiteIndex site) const = 0;
+
+  /// Compute elements at the site (for completion-time estimates).
+  [[nodiscard]] virtual std::size_t site_compute_elements(data::SiteIndex site) const = 0;
+
+  /// Relative processor speed of the site (1.0 everywhere in the paper's
+  /// homogeneous model; varies under the heterogeneity extension).
+  [[nodiscard]] virtual double site_speed_factor(data::SiteIndex site) const = 0;
+
+  /// Sites currently holding a replica of `dataset`.
+  [[nodiscard]] virtual const std::vector<data::SiteIndex>& replica_sites(
+      data::DatasetId dataset) const = 0;
+
+  [[nodiscard]] virtual bool site_has_dataset(data::SiteIndex site,
+                                              data::DatasetId dataset) const = 0;
+
+  [[nodiscard]] virtual util::Megabytes dataset_size_mb(data::DatasetId dataset) const = 0;
+
+  /// Network distance between sites, in links.
+  [[nodiscard]] virtual std::size_t hops(data::SiteIndex a, data::SiteIndex b) const = 0;
+
+  /// The DS's "list of known sites": the other leaf sites under the same
+  /// regional router.
+  [[nodiscard]] virtual const std::vector<data::SiteIndex>& neighbors(
+      data::SiteIndex site) const = 0;
+
+  /// Largest number of concurrent flows on any link of the a->b route
+  /// (0 = idle path). The NWS-style congestion signal used by JobAdaptive.
+  [[nodiscard]] virtual std::size_t path_congestion(data::SiteIndex a,
+                                                    data::SiteIndex b) const = 0;
+
+  /// Nominal bandwidth of the slowest link on the a->b route.
+  [[nodiscard]] virtual util::MbPerSec path_bandwidth_mbps(data::SiteIndex a,
+                                                           data::SiteIndex b) const = 0;
+
+  [[nodiscard]] virtual util::SimTime now() const = 0;
+};
+
+/// External Scheduler: picks the execution site for one submitted job.
+class ExternalScheduler {
+ public:
+  virtual ~ExternalScheduler() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Called once per job at submission time, at the job's origin site.
+  [[nodiscard]] virtual data::SiteIndex select_site(const site::Job& job,
+                                                    const GridView& view,
+                                                    util::Rng& rng) = 0;
+};
+
+/// Local Scheduler: picks which queued job starts when a processor frees.
+class LocalScheduler {
+ public:
+  virtual ~LocalScheduler() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// `queue` is in arrival order; `job_of` resolves ids. Return kNoJob when
+  /// nothing may start (empty queue, or policy blocks on data).
+  [[nodiscard]] virtual site::JobId pick_next(
+      const std::deque<site::JobId>& queue,
+      const std::function<const site::Job&(site::JobId)>& job_of) = 0;
+};
+
+/// Actions a Dataset Scheduler may take, offered by the Grid.
+class ReplicationContext {
+ public:
+  virtual ~ReplicationContext() = default;
+
+  /// The site this DS instance runs at.
+  [[nodiscard]] virtual data::SiteIndex self() const = 0;
+
+  [[nodiscard]] virtual const GridView& view() const = 0;
+
+  /// Asynchronously push a locally held dataset to `destination`; no-op
+  /// when the destination already holds it or a push is already in flight.
+  virtual void replicate(data::DatasetId dataset, data::SiteIndex destination) = 0;
+
+  /// Datasets held locally whose request count since last reset is at or
+  /// above `threshold`, hottest first.
+  [[nodiscard]] virtual std::vector<data::DatasetId> popular_datasets(
+      double threshold) const = 0;
+
+  /// Reset the popularity counter after acting on a dataset.
+  virtual void reset_popularity(data::DatasetId dataset) = 0;
+
+  /// The remote site whose community has demanded `dataset` from this site
+  /// most often — measured by the *origin* of the requesting jobs, so the
+  /// signal survives schedulers that move jobs to the data (kNoSite when
+  /// demand has only ever been local). Drives DataBestClient.
+  [[nodiscard]] virtual data::SiteIndex top_requester(data::DatasetId dataset) const = 0;
+
+  /// Replication pushes currently in flight toward `site` (from anywhere).
+  /// Lets load-aware replication avoid piling every hot dataset onto the
+  /// single momentarily-coldest site.
+  [[nodiscard]] virtual std::size_t inbound_replications(data::SiteIndex site) const = 0;
+};
+
+/// Dataset Scheduler: decides if/when/where to replicate popular datasets.
+class DatasetScheduler {
+ public:
+  virtual ~DatasetScheduler() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Called every ds_check_period_s of virtual time.
+  virtual void evaluate(ReplicationContext& ctx, util::Rng& rng) = 0;
+
+  /// Hook invoked when a remote site fetches `dataset` from this DS's site
+  /// (used by DataFastSpread; default does nothing).
+  virtual void on_remote_fetch(ReplicationContext& ctx, data::DatasetId dataset,
+                               data::SiteIndex requester, util::Rng& rng);
+};
+
+}  // namespace chicsim::core

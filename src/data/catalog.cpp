@@ -1,0 +1,35 @@
+#include "data/catalog.hpp"
+
+#include "util/error.hpp"
+
+namespace chicsim::data {
+
+DatasetId DatasetCatalog::add(std::string name, util::Megabytes size_mb) {
+  CHICSIM_ASSERT_MSG(size_mb > 0.0, "dataset size must be positive");
+  auto id = static_cast<DatasetId>(datasets_.size());
+  datasets_.push_back(Dataset{id, std::move(name), size_mb});
+  return id;
+}
+
+const Dataset& DatasetCatalog::get(DatasetId id) const {
+  CHICSIM_ASSERT_MSG(id < datasets_.size(), "dataset id out of range");
+  return datasets_[id];
+}
+
+util::Megabytes DatasetCatalog::total_mb() const {
+  util::Megabytes total = 0.0;
+  for (const auto& d : datasets_) total += d.size_mb;
+  return total;
+}
+
+DatasetCatalog DatasetCatalog::generate_uniform(std::size_t count, util::Megabytes min_mb,
+                                                util::Megabytes max_mb, util::Rng& rng) {
+  CHICSIM_ASSERT_MSG(min_mb > 0.0 && max_mb >= min_mb, "bad dataset size range");
+  DatasetCatalog catalog;
+  for (std::size_t i = 0; i < count; ++i) {
+    catalog.add("dataset" + std::to_string(i), rng.uniform(min_mb, max_mb));
+  }
+  return catalog;
+}
+
+}  // namespace chicsim::data

@@ -1,0 +1,35 @@
+// The dataset catalog: the authoritative registry of every dataset's
+// existence and size (analogous to a Grid metadata catalog). Replica
+// *locations* live in ReplicaCatalog; this class is immutable once
+// populated.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace chicsim::data {
+
+class DatasetCatalog {
+ public:
+  /// Register a dataset; ids are dense and assigned in call order.
+  DatasetId add(std::string name, util::Megabytes size_mb);
+
+  [[nodiscard]] std::size_t size() const { return datasets_.size(); }
+  [[nodiscard]] const Dataset& get(DatasetId id) const;
+  [[nodiscard]] util::Megabytes size_mb(DatasetId id) const { return get(id).size_mb; }
+
+  /// Total megabytes across all datasets.
+  [[nodiscard]] util::Megabytes total_mb() const;
+
+  /// Populate with `count` datasets sized uniformly in [min_mb, max_mb),
+  /// as in Table 1 (500 MB - 2 GB).
+  static DatasetCatalog generate_uniform(std::size_t count, util::Megabytes min_mb,
+                                         util::Megabytes max_mb, util::Rng& rng);
+
+ private:
+  std::vector<Dataset> datasets_;
+};
+
+}  // namespace chicsim::data

@@ -1,0 +1,24 @@
+// Dataset identity and attributes.
+//
+// The paper uses "file" and "dataset" interchangeably (§1); so do we. Each
+// dataset has a fixed size; the experiment of Table 1 draws sizes uniformly
+// from [500 MB, 2 GB].
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace chicsim::data {
+
+using DatasetId = std::uint32_t;
+inline constexpr DatasetId kNoDataset = static_cast<DatasetId>(-1);
+
+struct Dataset {
+  DatasetId id = kNoDataset;
+  std::string name;
+  util::Megabytes size_mb = 0.0;
+};
+
+}  // namespace chicsim::data

@@ -1,0 +1,45 @@
+#include "data/replica_catalog.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace chicsim::data {
+
+ReplicaCatalog::ReplicaCatalog(std::size_t num_datasets) : locations_(num_datasets) {}
+
+void ReplicaCatalog::add(DatasetId dataset, SiteIndex site) {
+  CHICSIM_ASSERT_MSG(dataset < locations_.size(), "dataset id out of range");
+  auto& sites = locations_[dataset];
+  if (std::find(sites.begin(), sites.end(), site) != sites.end()) return;
+  sites.push_back(site);
+  ++total_;
+}
+
+bool ReplicaCatalog::remove(DatasetId dataset, SiteIndex site) {
+  CHICSIM_ASSERT_MSG(dataset < locations_.size(), "dataset id out of range");
+  auto& sites = locations_[dataset];
+  auto it = std::find(sites.begin(), sites.end(), site);
+  if (it == sites.end()) return false;
+  sites.erase(it);
+  CHICSIM_ASSERT(total_ > 0);
+  --total_;
+  return true;
+}
+
+bool ReplicaCatalog::has(DatasetId dataset, SiteIndex site) const {
+  CHICSIM_ASSERT_MSG(dataset < locations_.size(), "dataset id out of range");
+  const auto& sites = locations_[dataset];
+  return std::find(sites.begin(), sites.end(), site) != sites.end();
+}
+
+const std::vector<SiteIndex>& ReplicaCatalog::locations(DatasetId dataset) const {
+  CHICSIM_ASSERT_MSG(dataset < locations_.size(), "dataset id out of range");
+  return locations_[dataset];
+}
+
+std::size_t ReplicaCatalog::replica_count(DatasetId dataset) const {
+  return locations(dataset).size();
+}
+
+}  // namespace chicsim::data

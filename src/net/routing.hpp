@@ -1,0 +1,47 @@
+// Shortest-path routing over a Topology.
+//
+// Links are unweighted for routing purposes (the paper's hierarchy has a
+// single path between any two sites anyway); we precompute all-pairs
+// next-hops with one BFS per node, then materialise link paths on demand
+// and cache them.  `hops` is used both by the closest-replica selection
+// policy and by the DataCascading extension.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace chicsim::net {
+
+class Routing {
+ public:
+  /// Precomputes routes; the topology must be connected and must outlive
+  /// this object.
+  explicit Routing(const Topology& topo);
+
+  /// Links traversed from src to dst, in order. Empty when src == dst.
+  [[nodiscard]] const std::vector<LinkId>& path(NodeId src, NodeId dst) const;
+
+  /// Number of links between src and dst (0 when equal).
+  [[nodiscard]] std::size_t hops(NodeId src, NodeId dst) const;
+
+  /// The next node on the route from src toward dst (dst when adjacent;
+  /// src when src == dst).
+  [[nodiscard]] NodeId next_hop(NodeId src, NodeId dst) const;
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId src, NodeId dst) const;
+
+  const Topology& topo_;
+  std::size_t n_;
+  /// next_link_[src * n + dst]: first link on the path, or -1 when src==dst.
+  std::vector<LinkId> next_link_;
+  std::vector<std::uint32_t> hop_count_;
+  /// Materialised full paths, built lazily at construction for all pairs of
+  /// *site* nodes (the only transfer endpoints) and on first use otherwise.
+  mutable std::vector<std::vector<LinkId>> paths_;
+  mutable std::vector<bool> path_built_;
+};
+
+}  // namespace chicsim::net

@@ -1,0 +1,172 @@
+// Contention-aware data transfers (the paper's network model, §5.1):
+//
+//   "The transfer of input files from one site to another incurs a cost
+//    corresponding to the size of the file divided by the nominal speed of
+//    the link. We model network contention by keeping track of the number
+//    of simultaneous data transfers across a link and decreasing the
+//    bandwidth available for each transfer accordingly."
+//
+// We implement this as a fluid flow model.  Every active transfer f has a
+// current rate r(f); whenever the set of active transfers changes, all
+// flows are settled (remaining bytes advanced at the old rates), rates are
+// recomputed, and completion events are rescheduled.  Two allocation
+// policies are provided:
+//
+//  * EqualShare (paper-faithful): r(f) = min over links l on f's path of
+//    capacity(l) / n(l), where n(l) counts flows crossing l.  This never
+//    oversubscribes a link (each flow takes at most its equal share of
+//    every link it crosses).
+//  * MaxMin: progressive filling to the max-min fair allocation — an
+//    ablation showing the results are insensitive to the sharing model.
+//
+// Transfers between co-located endpoints (src == dst) complete after zero
+// virtual time (all processors at a site access all storage at that site,
+// §3), but still go through the event calendar so completion callbacks are
+// never re-entrant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace chicsim::net {
+
+using TransferId = std::uint64_t;
+inline constexpr TransferId kNoTransfer = 0;
+
+enum class SharePolicy : std::uint8_t {
+  EqualShare,    ///< paper model: bottleneck equal split
+  MaxMin,        ///< max-min fairness (water filling)
+  NoContention,  ///< ablation: every flow gets the full bottleneck bandwidth
+};
+
+/// Why a transfer was initiated; used to split accounting between
+/// job-driven fetches, DS-driven replication (Figure 3b counts both) and
+/// the optional output-return extension.
+enum class TransferPurpose : std::uint8_t {
+  JobFetch = 0,
+  Replication = 1,
+  OutputReturn = 2,
+  Other = 3,
+};
+inline constexpr std::size_t kNumTransferPurposes = 4;
+
+struct TransferStats {
+  /// Megabytes delivered end-to-end, per purpose (a 1 GB file moved once
+  /// counts 1000 MB regardless of hop count).
+  double delivered_mb[kNumTransferPurposes] = {0, 0, 0, 0};
+  /// Megabyte-hops: megabytes multiplied by links traversed (bandwidth
+  /// actually consumed from the network).
+  double delivered_mb_hops = 0.0;
+  std::uint64_t transfers_started = 0;
+  std::uint64_t transfers_completed = 0;
+  std::uint64_t local_transfers = 0;
+
+  [[nodiscard]] double total_delivered_mb() const {
+    double total = 0.0;
+    for (double mb : delivered_mb) total += mb;
+    return total;
+  }
+};
+
+class TransferManager {
+ public:
+  using CompletionFn = std::function<void(TransferId)>;
+
+  TransferManager(sim::Engine& engine, const Topology& topo, const Routing& routing,
+                  SharePolicy policy = SharePolicy::EqualShare);
+
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
+
+  /// Begin moving `size_mb` megabytes from `src` to `dst`. `on_complete`
+  /// fires through the event calendar when the last byte arrives.
+  TransferId start(NodeId src, NodeId dst, util::Megabytes size_mb, TransferPurpose purpose,
+                   CompletionFn on_complete);
+
+  /// True while the transfer has not completed.
+  [[nodiscard]] bool active(TransferId id) const;
+
+  /// Number of in-flight transfers.
+  [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
+
+  /// Current rate of an active transfer (MB/s).
+  [[nodiscard]] util::MbPerSec current_rate(TransferId id) const;
+
+  /// Remaining megabytes of an active transfer, settled to `now`.
+  [[nodiscard]] util::Megabytes remaining_mb(TransferId id) const;
+
+  /// Degrade (or restore) a link's effective bandwidth at the current
+  /// virtual time: capacity becomes nominal x `scale`. In-flight transfers
+  /// are settled at their old rates and re-planned immediately — the
+  /// fault-injection hook for degraded-network scenarios. `scale` must be
+  /// positive (model a failed link as a severe degradation, e.g. 0.01).
+  void set_bandwidth_scale(LinkId link, double scale);
+
+  /// Current bandwidth scale of a link (1.0 = nominal).
+  [[nodiscard]] double bandwidth_scale(LinkId link) const;
+
+  /// Number of flows currently crossing `link`.
+  [[nodiscard]] std::size_t flows_on_link(LinkId link) const;
+
+  /// Cumulative time-integral of "link has at least one flow", per link.
+  [[nodiscard]] util::SimTime link_busy_time(LinkId link) const;
+
+  /// Number of links in the underlying topology.
+  [[nodiscard]] std::size_t link_count() const { return link_busy_time_.size(); }
+
+  [[nodiscard]] const TransferStats& stats() const { return stats_; }
+  [[nodiscard]] SharePolicy policy() const { return policy_; }
+
+ private:
+  struct Flow {
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    util::Megabytes size_mb = 0.0;
+    util::Megabytes remaining_mb = 0.0;
+    util::MbPerSec rate = 0.0;
+    TransferPurpose purpose = TransferPurpose::Other;
+    CompletionFn on_complete;
+    sim::EventId completion_event = sim::kNoEvent;
+    const std::vector<LinkId>* path = nullptr;  // owned by Routing's cache
+  };
+
+  /// Advance every flow's remaining bytes to the current time at the old
+  /// rates and accumulate link-busy statistics.
+  void settle();
+
+  /// Recompute all flow rates under the active policy and reschedule each
+  /// flow's completion event.
+  void reallocate();
+
+  void compute_rates_equal_share();
+  void compute_rates_max_min();
+  void compute_rates_no_contention();
+
+  void on_completion_event(TransferId id);
+  void finish(TransferId id);
+
+  sim::Engine& engine_;
+  const Topology& topo_;
+  const Routing& routing_;
+  SharePolicy policy_;
+
+  /// Effective capacity of a link right now (nominal x scale).
+  [[nodiscard]] double capacity(LinkId link) const;
+
+  std::unordered_map<TransferId, Flow> flows_;
+  std::vector<std::size_t> link_flow_count_;
+  std::vector<util::SimTime> link_busy_time_;
+  std::vector<double> link_scale_;
+  util::SimTime last_settle_ = 0.0;
+  TransferId next_id_ = 1;
+  TransferStats stats_;
+};
+
+}  // namespace chicsim::net

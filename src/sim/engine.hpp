@@ -1,0 +1,94 @@
+// The discrete-event simulation engine.
+//
+// This is the Parsec substitute (see DESIGN.md §2): a virtual clock plus an
+// event calendar.  Model components (transfer manager, compute elements,
+// dataset schedulers, users) are plain objects holding a reference to the
+// Engine; they advance the world exclusively by scheduling callbacks.
+//
+// Determinism contract: given the same initial schedule and the same
+// callbacks, a run is bit-for-bit reproducible — ties in virtual time break
+// by schedule order, and the engine itself consumes no randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event.hpp"
+#include "sim/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace chicsim::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time (seconds).
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now). Returns a handle
+  /// usable with cancel().
+  EventId schedule_at(util::SimTime t, EventFn fn);
+
+  /// Schedule `fn` after `delay` seconds (>= 0).
+  EventId schedule_in(util::SimTime delay, EventFn fn);
+
+  /// Cancel a pending event. Returns false when it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the event calendar is empty or stop() is called.
+  void run();
+
+  /// Run while events exist with time <= `t_end`; afterwards now() == t_end
+  /// if the horizon was reached, else the time of the last executed event.
+  void run_until(util::SimTime t_end);
+
+  /// Execute exactly one event if any is pending; returns false when idle.
+  bool step();
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events executed so far (for tests and microbenchmarks).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  util::SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// Repeating timer: runs `fn` every `period` seconds starting at
+/// `start` (absolute). Used by the Dataset Schedulers' periodic popularity
+/// evaluation. Cancelling is done by destroying the timer or calling stop().
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Engine& engine, util::SimTime start, util::SimTime period, EventFn fn);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(util::SimTime t);
+
+  Engine& engine_;
+  util::SimTime period_;
+  EventFn fn_;
+  EventId pending_ = kNoEvent;
+  bool running_ = true;
+};
+
+}  // namespace chicsim::sim

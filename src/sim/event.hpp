@@ -1,0 +1,30 @@
+// Event representation for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/units.hpp"
+
+namespace chicsim::sim {
+
+/// Opaque handle identifying a scheduled event; valid until the event fires
+/// or is cancelled. Handle 0 is never issued (usable as "none").
+using EventId = std::uint64_t;
+
+inline constexpr EventId kNoEvent = 0;
+
+/// Event bodies are arbitrary callbacks. They run at their scheduled virtual
+/// time and may schedule or cancel further events.
+using EventFn = std::function<void()>;
+
+/// Internal record of one scheduled event.
+struct Event {
+  util::SimTime time = 0.0;
+  /// Monotonic sequence number: events at equal times fire in the order
+  /// they were scheduled, making runs fully deterministic.
+  EventId id = kNoEvent;
+  EventFn fn;
+};
+
+}  // namespace chicsim::sim

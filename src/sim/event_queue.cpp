@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace chicsim::sim {
+
+bool EventQueue::before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.id < b.id;
+}
+
+void EventQueue::push(Event event) {
+  CHICSIM_ASSERT_MSG(event.id != kNoEvent, "event id must be non-zero");
+  CHICSIM_ASSERT_MSG(pending_.find(event.id) == pending_.end() &&
+                         cancelled_.find(event.id) == cancelled_.end(),
+                     "duplicate event id");
+  pending_.insert(event.id);
+  heap_.push_back(std::move(event));
+  sift_up(heap_.size() - 1);
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+util::SimTime EventQueue::next_time() {
+  CHICSIM_ASSERT_MSG(!empty(), "next_time on empty queue");
+  drop_cancelled_top();
+  return heap_.front().time;
+}
+
+Event EventQueue::pop() {
+  CHICSIM_ASSERT_MSG(!empty(), "pop on empty queue");
+  drop_cancelled_top();
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  pending_.erase(top.id);
+  return top;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+  CHICSIM_ASSERT_MSG(false, "drop_cancelled_top exhausted heap while events were pending");
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t left = 2 * i + 1;
+    std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace chicsim::sim

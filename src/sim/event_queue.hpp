@@ -1,0 +1,52 @@
+// Pending-event set: a binary min-heap ordered by (time, id) with lazy
+// cancellation.
+//
+// Cancellation matters here because the network's fluid flow model
+// reschedules transfer-completion events every time the set of concurrent
+// transfers changes. A pending-id hash set makes cancel O(1); cancelled
+// entries stay in the heap and are skipped on pop, keeping pop amortized
+// O(log n).
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace chicsim::sim {
+
+class EventQueue {
+ public:
+  /// Insert an event; `id` must be unique and non-zero.
+  void push(Event event);
+
+  /// Mark an event cancelled; returns false when the id is not pending
+  /// (already fired, already cancelled, or never scheduled). O(1).
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; must not be called when empty.
+  [[nodiscard]] util::SimTime next_time();
+
+  /// Remove and return the earliest live event; must not be called on empty.
+  [[nodiscard]] Event pop();
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Pop heap entries whose ids were cancelled until a live one is on top.
+  void drop_cancelled_top();
+  [[nodiscard]] static bool before(const Event& a, const Event& b);
+
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> pending_;    ///< live, cancellable ids
+  std::unordered_set<EventId> cancelled_;  ///< tombstones still in the heap
+};
+
+}  // namespace chicsim::sim

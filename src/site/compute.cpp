@@ -1,0 +1,42 @@
+#include "site/compute.hpp"
+
+#include "util/error.hpp"
+
+namespace chicsim::site {
+
+ComputePool::ComputePool(std::size_t num_elements, util::SimTime start_time)
+    : total_(num_elements), start_time_(start_time), last_change_(start_time) {
+  CHICSIM_ASSERT_MSG(num_elements > 0, "a site needs at least one compute element");
+}
+
+void ComputePool::advance(util::SimTime now) {
+  CHICSIM_ASSERT_MSG(now >= last_change_, "compute accounting went backwards");
+  busy_integral_ += static_cast<double>(busy_) * (now - last_change_);
+  last_change_ = now;
+}
+
+bool ComputePool::acquire(util::SimTime now) {
+  if (busy_ >= total_) return false;
+  advance(now);
+  ++busy_;
+  return true;
+}
+
+void ComputePool::release(util::SimTime now) {
+  CHICSIM_ASSERT_MSG(busy_ > 0, "release with no busy element");
+  advance(now);
+  --busy_;
+}
+
+void ComputePool::settle(util::SimTime now) { advance(now); }
+
+double ComputePool::utilization(util::SimTime now) const {
+  double span = now - start_time_;
+  if (span <= 0.0) return 0.0;
+  double integral = busy_integral_ + static_cast<double>(busy_) * (now - last_change_);
+  return integral / (span * static_cast<double>(total_));
+}
+
+double ComputePool::idle_fraction(util::SimTime now) const { return 1.0 - utilization(now); }
+
+}  // namespace chicsim::site

@@ -1,0 +1,54 @@
+// Compute elements of a site, with busy/idle time accounting.
+//
+// All processors are homogeneous (§3). Figure 4 reports the percentage of
+// time processors are idle ("not in use or waiting for data"), so the pool
+// integrates busy-element-seconds over virtual time; the Grid finalises the
+// integral at the end of the run.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace chicsim::site {
+
+class ComputePool {
+ public:
+  ComputePool(std::size_t num_elements, util::SimTime start_time);
+
+  /// Take one element at virtual time `now`; false when all are busy.
+  [[nodiscard]] bool acquire(util::SimTime now);
+
+  /// Return one element at virtual time `now`.
+  void release(util::SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return total_; }
+  [[nodiscard]] std::size_t busy() const { return busy_; }
+  [[nodiscard]] std::size_t idle() const { return total_ - busy_; }
+
+  /// Integral of busy elements over time, up to the last state change.
+  /// Call settle(now) first for an up-to-date value.
+  [[nodiscard]] double busy_element_seconds() const { return busy_integral_; }
+
+  /// Advance the accounting clock without a state change (end of run).
+  void settle(util::SimTime now);
+
+  /// Fraction of element-time spent busy over [start, now]; 0 when the
+  /// interval is empty.
+  [[nodiscard]] double utilization(util::SimTime now) const;
+
+  /// Fraction of element-time spent idle over [start, now] — Figure 4's
+  /// metric.
+  [[nodiscard]] double idle_fraction(util::SimTime now) const;
+
+ private:
+  void advance(util::SimTime now);
+
+  std::size_t total_;
+  std::size_t busy_ = 0;
+  util::SimTime start_time_;
+  util::SimTime last_change_;
+  double busy_integral_ = 0.0;
+};
+
+}  // namespace chicsim::site

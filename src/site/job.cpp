@@ -1,0 +1,32 @@
+#include "site/job.hpp"
+
+#include "util/string_util.hpp"
+
+namespace chicsim::site {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Created: return "created";
+    case JobState::Submitted: return "submitted";
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::ReturningOutput: return "returning-output";
+    case JobState::Completed: return "completed";
+  }
+  return "?";
+}
+
+std::string Job::describe() const {
+  std::string out = "job " + std::to_string(id) + " [" + to_string(state) + "] user=" +
+                    std::to_string(user) + " origin=" + std::to_string(origin_site);
+  if (exec_site != data::kNoSite) out += " exec=" + std::to_string(exec_site);
+  out += " inputs={";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(inputs[i]);
+  }
+  out += "} runtime=" + util::format_fixed(runtime_s, 1) + "s";
+  return out;
+}
+
+}  // namespace chicsim::site

@@ -1,0 +1,73 @@
+// A Grid site: compute elements, storage, a job queue, and the popularity
+// book-keeping its Dataset Scheduler reads.
+//
+// Site is deliberately a passive container — the behaviour (when to start a
+// queued job, what to do when a fetch completes, when to replicate) lives
+// in core::Grid and the scheduler policies, so that policies can be swapped
+// without touching the substrate.  The queue preserves arrival order; the
+// Local Scheduler policy chooses which queued job runs next.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "data/popularity.hpp"
+#include "data/storage.hpp"
+#include "site/compute.hpp"
+#include "site/job.hpp"
+
+namespace chicsim::site {
+
+class Site {
+ public:
+  Site(data::SiteIndex index, std::size_t num_compute_elements,
+       util::Megabytes storage_capacity_mb, util::SimTime popularity_half_life_s = 0.0,
+       double speed_factor = 1.0);
+
+  [[nodiscard]] data::SiteIndex index() const { return index_; }
+
+  /// Relative processor speed (1.0 = the paper's homogeneous baseline); a
+  /// job's compute time here is runtime_s / speed_factor().
+  [[nodiscard]] double speed_factor() const { return speed_factor_; }
+
+  [[nodiscard]] ComputePool& compute() { return compute_; }
+  [[nodiscard]] const ComputePool& compute() const { return compute_; }
+
+  [[nodiscard]] data::StorageManager& storage() { return storage_; }
+  [[nodiscard]] const data::StorageManager& storage() const { return storage_; }
+
+  [[nodiscard]] data::PopularityTracker& popularity() { return popularity_; }
+  [[nodiscard]] const data::PopularityTracker& popularity() const { return popularity_; }
+
+  /// --- job queue (arrival order preserved) ---
+  void enqueue(JobId job);
+  void remove_from_queue(JobId job);
+  [[nodiscard]] const std::deque<JobId>& queue() const { return queue_; }
+
+  /// Load metric used by every "least loaded" policy in the paper: "the
+  /// least number of jobs waiting to run" — queued jobs not yet running.
+  [[nodiscard]] std::size_t load() const { return queue_.size(); }
+
+  /// Jobs currently running here (for utilization sanity checks).
+  [[nodiscard]] std::size_t running_count() const { return running_; }
+  void note_job_started();
+  void note_job_finished();
+
+  /// Lifetime counters.
+  [[nodiscard]] std::uint64_t jobs_dispatched_here() const { return dispatched_; }
+  [[nodiscard]] std::uint64_t jobs_completed_here() const { return completed_; }
+  void note_job_dispatched() { ++dispatched_; }
+
+ private:
+  data::SiteIndex index_;
+  double speed_factor_;
+  ComputePool compute_;
+  data::StorageManager storage_;
+  data::PopularityTracker popularity_;
+  std::deque<JobId> queue_;
+  std::size_t running_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace chicsim::site

@@ -1,0 +1,73 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace chicsim::util {
+
+namespace {
+void write_cells(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << ',';
+    CHICSIM_ASSERT_MSG(cells[i].find(',') == std::string::npos &&
+                           cells[i].find('\n') == std::string::npos,
+                       "csv cell contains separator/newline: " + cells[i]);
+    out << cells[i];
+  }
+  out << '\n';
+}
+}  // namespace
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  CHICSIM_ASSERT_MSG(!header_written_, "csv header written twice");
+  CHICSIM_ASSERT_MSG(!columns.empty(), "csv header must have columns");
+  columns_ = columns.size();
+  header_written_ = true;
+  write_cells(out_, columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  CHICSIM_ASSERT_MSG(header_written_, "csv row before header");
+  CHICSIM_ASSERT_MSG(cells.size() == columns_, "csv row width mismatch");
+  ++rows_;
+  write_cells(out_, cells);
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  throw SimError("csv: no such column: " + name);
+}
+
+CsvTable parse_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    auto cells = split(line, ',');
+    if (first) {
+      table.columns = std::move(cells);
+      first = false;
+    } else {
+      if (cells.size() != table.columns.size()) {
+        throw SimError("csv: ragged row: " + line);
+      }
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  if (first) throw SimError("csv: empty input");
+  return table;
+}
+
+CsvTable parse_csv_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_csv(in);
+}
+
+}  // namespace chicsim::util

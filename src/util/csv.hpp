@@ -1,0 +1,47 @@
+// CSV reading/writing for metric exports and workload traces.
+//
+// The dialect is deliberately minimal (comma separator, no quoting of
+// separators inside fields) because every producer and consumer is inside
+// this repository; we validate on read instead of supporting full RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chicsim::util {
+
+/// Streaming CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write the header row; must be called first, fixes the column count.
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one data row; must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Fully parsed CSV table.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws SimError when absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+};
+
+/// Parse CSV text (header + rows). Throws SimError on ragged rows.
+[[nodiscard]] CsvTable parse_csv(std::istream& in);
+[[nodiscard]] CsvTable parse_csv_string(const std::string& text);
+
+}  // namespace chicsim::util

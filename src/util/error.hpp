@@ -1,0 +1,43 @@
+// Error handling: a simulator-specific exception type plus an always-on
+// assertion macro for internal invariants.
+//
+// Invariant violations inside a discrete-event simulation (e.g. an event
+// scheduled in the past, a transfer finishing with negative remaining bytes)
+// indicate a model bug, not a recoverable condition; we therefore throw a
+// descriptive exception that carries the failing expression and location so
+// tests can assert on misuse and applications fail loudly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chicsim::util {
+
+/// Exception thrown on configuration errors and internal invariant failures.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise_assert(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::string full = std::string("CHICSIM_ASSERT failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw SimError(full);
+}
+
+}  // namespace chicsim::util
+
+/// Always-on invariant check (active in release builds too: simulation
+/// results silently produced from a corrupted model are worse than a crash).
+#define CHICSIM_ASSERT(expr)                                                     \
+  do {                                                                           \
+    if (!(expr)) ::chicsim::util::raise_assert(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Invariant check with an explanatory message appended to the exception.
+#define CHICSIM_ASSERT_MSG(expr, msg)                                              \
+  do {                                                                             \
+    if (!(expr)) ::chicsim::util::raise_assert(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

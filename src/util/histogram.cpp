@@ -1,0 +1,71 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  CHICSIM_ASSERT_MSG(hi > lo, "histogram: hi must exceed lo");
+  CHICSIM_ASSERT_MSG(buckets > 0, "histogram: need at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  std::size_t b;
+  if (x < lo_) {
+    ++underflow_;
+    b = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    b = counts_.size() - 1;
+  } else {
+    double frac = (x - lo_) / (hi_ - lo_);
+    b = std::min(static_cast<std::size_t>(frac * static_cast<double>(counts_.size())),
+                 counts_.size() - 1);
+  }
+  ++counts_[b];
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  CHICSIM_ASSERT(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  CHICSIM_ASSERT(bucket < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  CHICSIM_ASSERT(bucket < counts_.size());
+  return lo_ +
+         (hi_ - lo_) * static_cast<double>(bucket + 1) / static_cast<double>(counts_.size());
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bucket)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii_chart(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / peak;
+    std::snprintf(line, sizeof line, "[%8.1f,%8.1f) %8zu ", bucket_lo(b), bucket_hi(b),
+                  counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace chicsim::util

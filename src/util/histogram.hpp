@@ -1,0 +1,44 @@
+// Fixed-width histogram, used for the Figure 2 popularity plot and for
+// distributional test assertions (e.g. "dataset sizes are uniform on
+// [500, 2000] MB").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chicsim::util {
+
+class Histogram {
+ public:
+  /// Buckets of equal width covering [lo, hi); samples outside are clamped
+  /// into the first/last bucket and counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of all samples landing in `bucket`.
+  [[nodiscard]] double fraction(std::size_t bucket) const;
+
+  /// Render a simple ASCII bar chart, `width` characters for the fullest
+  /// bucket. Used by the bench binaries to echo Figure 2.
+  [[nodiscard]] std::string ascii_chart(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace chicsim::util

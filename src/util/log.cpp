@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/string_util.hpp"
+
+namespace chicsim::util {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger(LogLevel level, std::ostream* out)
+    : level_(level), out_(out != nullptr ? out : &std::cerr) {}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level) || level == LogLevel::Off) return;
+  std::string prefix = "[";
+  prefix += to_string(level);
+  if (now_) {
+    prefix += " t=" + format_fixed(now_(), 2);
+  }
+  prefix += "] ";
+  (*out_) << prefix << message << '\n';
+}
+
+void Logger::lazy(LogLevel level, const std::function<std::string()>& make) {
+  if (!enabled(level) || level == LogLevel::Off) return;
+  log(level, make());
+}
+
+Logger& global_logger() {
+  static Logger logger(LogLevel::Warn);
+  return logger;
+}
+
+}  // namespace chicsim::util

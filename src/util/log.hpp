@@ -1,0 +1,53 @@
+// Leveled logging with virtual-time prefixes.
+//
+// The logger is a plain value owned by the Grid (no global mutable state;
+// tests run many simulations in one process).  A global fallback logger
+// exists only for free-standing utilities.  Debug logging of every event in
+// a 6000-job run is substantial, so Level::Debug lines format lazily.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace chicsim::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+class Logger {
+ public:
+  /// Logs at or above `level` are written to `out` (defaults to stderr).
+  explicit Logger(LogLevel level = LogLevel::Warn, std::ostream* out = nullptr);
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Provide the current virtual time for message prefixes.
+  void set_clock(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+  void debug(const std::string& message) { log(LogLevel::Debug, message); }
+  void info(const std::string& message) { log(LogLevel::Info, message); }
+  void warn(const std::string& message) { log(LogLevel::Warn, message); }
+  void error(const std::string& message) { log(LogLevel::Error, message); }
+
+  /// Lazy variant: `make` runs only when the level is enabled.
+  void lazy(LogLevel level, const std::function<std::string()>& make);
+
+ private:
+  LogLevel level_;
+  std::ostream* out_;
+  std::function<SimTime()> now_;
+};
+
+/// Process-wide fallback logger (Warn level by default).
+[[nodiscard]] Logger& global_logger();
+
+}  // namespace chicsim::util

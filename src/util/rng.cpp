@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace chicsim::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+Rng Rng::substream(std::uint64_t master_seed, std::string_view name) {
+  // Mix the master seed with the stream name so that streams with different
+  // names are decorrelated even for adjacent master seeds.
+  std::uint64_t state = master_seed ^ fnv1a(name);
+  std::uint64_t derived = splitmix64(state);
+  derived ^= splitmix64(state);  // two rounds: avoid low-entropy master seeds
+  return Rng(derived);
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+double Rng::uniform(double lo, double hi) {
+  CHICSIM_ASSERT_MSG(lo <= hi, "uniform: lo > hi");
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CHICSIM_ASSERT_MSG(lo <= hi, "uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::geometric(double p) {
+  CHICSIM_ASSERT_MSG(p > 0.0 && p <= 1.0, "geometric: p out of (0,1]");
+  if (p >= 1.0) return 0;
+  std::geometric_distribution<std::int64_t> d(p);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  CHICSIM_ASSERT_MSG(rate > 0.0, "exponential: rate must be positive");
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  CHICSIM_ASSERT_MSG(p >= 0.0 && p <= 1.0, "chance: p out of [0,1]");
+  return uniform(0.0, 1.0) < p;
+}
+
+std::size_t Rng::index(std::size_t size) {
+  CHICSIM_ASSERT_MSG(size > 0, "index: empty range");
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+}  // namespace chicsim::util

@@ -1,0 +1,88 @@
+// Deterministic random-number streams.
+//
+// The paper's experiment design runs every algorithm pair with three random
+// seeds and reports means (§5.2).  Reproducibility therefore matters twice:
+// a single master seed must (a) fully determine a run, and (b) yield
+// *independent* streams for logically separate consumers (workload
+// generation, dataset placement, the JobRandom scheduler, the DataRandom
+// replicator...), so that changing how one component consumes randomness
+// does not perturb the others.  We derive per-component substreams from the
+// master seed with SplitMix64 over a hash of the component name.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+
+/// SplitMix64 step — used for seed derivation; good avalanche, cheap.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a hash of a string, for naming substreams.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s);
+
+/// A self-contained random stream. Wraps std::mt19937_64 with the sampling
+/// helpers the simulator needs. Copyable (copies fork the state).
+class Rng {
+ public:
+  /// Seed directly.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive a named substream: independent of any other (seed, name) pair.
+  [[nodiscard]] static Rng substream(std::uint64_t master_seed, std::string_view name);
+
+  /// Fork a child stream from this stream's current state (advances this).
+  [[nodiscard]] Rng fork();
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Geometric distribution over {0, 1, 2, ...} with success probability p:
+  /// P(k) = (1-p)^k * p.  Used for the dataset-popularity ranks (Figure 2).
+  [[nodiscard]] std::int64_t geometric(double p);
+
+  /// Exponential with the given rate (mean = 1/rate).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p);
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  [[nodiscard]] std::size_t index(std::size_t size);
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    CHICSIM_ASSERT(!items.empty());
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A random permutation of {0, ..., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Raw 64-bit draw (for tests and seed plumbing).
+  [[nodiscard]] std::uint64_t next_u64();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace chicsim::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double OnlineStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  double delta = other.mean_ - mean_;
+  std::size_t total = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) /
+             static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+Summary summarize(const OnlineStats& s) {
+  return Summary{s.count(), s.mean(), s.stddev(), s.min(), s.max()};
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  OnlineStats s;
+  for (double x : samples) s.add(x);
+  return summarize(s);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  CHICSIM_ASSERT_MSG(!samples.empty(), "percentile of empty sample set");
+  CHICSIM_ASSERT_MSG(q >= 0.0 && q <= 1.0, "percentile: q out of [0,1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  double pos = q * static_cast<double>(samples.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= samples.size()) return samples.back();
+  double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+double ci95_halfwidth(const Summary& s) {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+double coefficient_of_variation(const Summary& s) {
+  if (s.mean == 0.0) return 0.0;
+  return s.stddev / std::abs(s.mean);
+}
+
+}  // namespace chicsim::util

@@ -1,0 +1,65 @@
+// Streaming and batch statistics.
+//
+// Every metric the paper reports (Figures 3-5) is a mean over per-job or
+// per-processor samples, averaged again over three seeds.  OnlineStats is a
+// numerically stable (Welford) accumulator for the per-run step;
+// SampleStats handles the cross-seed step where we also want the spread,
+// because §5.2 explicitly checks that seed-to-seed variance is negligible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chicsim::util {
+
+/// Welford online mean/variance accumulator. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary snapshot of an OnlineStats (or of raw samples).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const OnlineStats& s);
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics). `q` in [0, 1]. Sorts a copy — fine for reporting paths.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Half-width of the ~95% normal confidence interval of the mean
+/// (1.96 * s / sqrt(n)); 0 for fewer than two samples.
+[[nodiscard]] double ci95_halfwidth(const Summary& s);
+
+/// Relative spread (stddev / mean), 0 when the mean is 0. Used by the
+/// cross-seed variance check.
+[[nodiscard]] double coefficient_of_variation(const Summary& s);
+
+}  // namespace chicsim::util

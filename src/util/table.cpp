@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace chicsim::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  CHICSIM_ASSERT_MSG(!columns_.empty(), "table must have columns");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  CHICSIM_ASSERT_MSG(cells.size() == columns_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  return !s.empty() && (parse_double(s).has_value());
+}
+}  // namespace
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      std::size_t pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out.append(pad, ' ');
+        out += row[c];
+      } else {
+        out += row[c];
+        out.append(pad, ' ');
+      }
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(columns_, out);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace chicsim::util

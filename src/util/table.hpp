@@ -1,0 +1,29 @@
+// Aligned console tables.
+//
+// The bench binaries print the paper's figures as tables (series per DS
+// algorithm, one row per ES algorithm, etc.); this helper keeps those
+// outputs aligned and consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chicsim::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chicsim::util

@@ -1,0 +1,99 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace chicsim::workload {
+
+Workload::Workload(const WorkloadConfig& config, const data::DatasetCatalog& catalog,
+                   util::Rng& rng) {
+  CHICSIM_ASSERT_MSG(config.num_users > 0, "workload needs users");
+  CHICSIM_ASSERT_MSG(config.num_sites > 0, "workload needs sites");
+  CHICSIM_ASSERT_MSG(config.inputs_per_job >= 1, "jobs need at least one input");
+  CHICSIM_ASSERT_MSG(catalog.size() > 0, "workload needs datasets");
+  CHICSIM_ASSERT_MSG(config.compute_seconds_per_gb > 0.0, "compute rate must be positive");
+  CHICSIM_ASSERT_MSG(config.user_focus >= 0.0 && config.user_focus <= 1.0,
+                     "user_focus must be in [0, 1]");
+
+  popularity_ =
+      std::make_unique<DatasetPopularity>(catalog.size(), config.geometric_p, rng);
+
+  jobs_by_user_.resize(config.num_users);
+  site::JobId next_id = 1;
+  for (site::UserId user = 0; user < config.num_users; ++user) {
+    auto& jobs = jobs_by_user_[user];
+    jobs.reserve(config.jobs_per_user);
+    auto origin = static_cast<data::SiteIndex>(user % config.num_sites);
+    // Per-user hot set for the focus extension (own permutation, same
+    // skew). Built unconditionally when focus > 0 so draw order stays
+    // deterministic across users.
+    std::unique_ptr<DatasetPopularity> personal;
+    if (config.user_focus > 0.0) {
+      personal =
+          std::make_unique<DatasetPopularity>(catalog.size(), config.geometric_p, rng);
+    }
+    for (std::size_t j = 0; j < config.jobs_per_user; ++j) {
+      site::Job job;
+      job.id = next_id++;
+      job.user = user;
+      job.origin_site = origin;
+      job.inputs.reserve(config.inputs_per_job);
+      double total_gb = 0.0;
+      for (std::size_t k = 0; k < config.inputs_per_job; ++k) {
+        auto draw = [&]() {
+          if (personal != nullptr && rng.chance(config.user_focus)) {
+            return personal->sample(rng);
+          }
+          return popularity_->sample(rng);
+        };
+        data::DatasetId input = draw();
+        // Multi-input jobs read distinct files; retry duplicates (bounded —
+        // inputs_per_job is far below the dataset count in practice).
+        for (int attempt = 0;
+             attempt < 32 &&
+             std::find(job.inputs.begin(), job.inputs.end(), input) != job.inputs.end();
+             ++attempt) {
+          input = draw();
+        }
+        if (std::find(job.inputs.begin(), job.inputs.end(), input) != job.inputs.end()) {
+          continue;  // give up on distinctness for pathological configs
+        }
+        job.inputs.push_back(input);
+        total_gb += util::mb_to_gb(catalog.size_mb(input));
+      }
+      CHICSIM_ASSERT(!job.inputs.empty());
+      job.runtime_s = config.compute_seconds_per_gb * total_gb;
+      jobs.push_back(std::move(job));
+    }
+    total_jobs_ += jobs.size();
+  }
+}
+
+Workload::Workload(std::vector<std::vector<site::Job>> jobs_by_user)
+    : jobs_by_user_(std::move(jobs_by_user)) {
+  for (const auto& jobs : jobs_by_user_) total_jobs_ += jobs.size();
+}
+
+const std::vector<site::Job>& Workload::jobs_of(site::UserId user) const {
+  CHICSIM_ASSERT_MSG(user < jobs_by_user_.size(), "user id out of range");
+  return jobs_by_user_[user];
+}
+
+data::SiteIndex Workload::home_site(site::UserId user) const {
+  const auto& jobs = jobs_of(user);
+  CHICSIM_ASSERT_MSG(!jobs.empty(), "user has no jobs");
+  return jobs.front().origin_site;
+}
+
+std::vector<const site::Job*> Workload::all_jobs() const {
+  std::vector<const site::Job*> out;
+  out.reserve(total_jobs_);
+  for (const auto& jobs : jobs_by_user_) {
+    for (const auto& job : jobs) out.push_back(&job);
+  }
+  return out;
+}
+
+}  // namespace chicsim::workload

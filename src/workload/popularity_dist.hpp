@@ -1,0 +1,51 @@
+// Dataset popularity distribution (Figure 2).
+//
+// "The jobs (i.e., input file names) needed by a particular user are
+// generated randomly according to a geometric distribution, with the goal
+// of modeling situations in which a community focuses on some datasets more
+// than others."  (§5.1)
+//
+// We sample a rank k from a geometric distribution truncated to the number
+// of datasets, then map ranks to dataset ids through a random permutation —
+// so *which* datasets are hot varies with the seed, while the popularity
+// *profile* is always geometric. The whole community shares one
+// distribution (the paper models a community hotspot, not per-user taste),
+// and popularity does not drift over time.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace chicsim::workload {
+
+class DatasetPopularity {
+ public:
+  /// `p` is the geometric success probability: P(rank k) ∝ (1-p)^k.
+  /// The rank->dataset permutation is drawn from `rng` at construction.
+  DatasetPopularity(std::size_t num_datasets, double p, util::Rng& rng);
+
+  /// Draw a dataset id.
+  [[nodiscard]] data::DatasetId sample(util::Rng& rng) const;
+
+  /// Draw a popularity rank (0 = most popular) without the permutation —
+  /// used by the Figure 2 bench to show the raw profile.
+  [[nodiscard]] std::size_t sample_rank(util::Rng& rng) const;
+
+  /// The dataset holding a given popularity rank.
+  [[nodiscard]] data::DatasetId dataset_at_rank(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t num_datasets() const { return rank_to_dataset_.size(); }
+  [[nodiscard]] double p() const { return p_; }
+
+  /// Expected fraction of requests hitting the k most popular datasets
+  /// (analytic, for tests): 1 - (1-p)^k, renormalised for truncation.
+  [[nodiscard]] double expected_top_k_fraction(std::size_t k) const;
+
+ private:
+  double p_;
+  std::vector<data::DatasetId> rank_to_dataset_;
+};
+
+}  // namespace chicsim::workload

@@ -1,0 +1,64 @@
+#include "core/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace chicsim::core {
+namespace {
+
+TEST(Algorithms, EsRoundTripThroughStrings) {
+  for (EsAlgorithm a : all_es_algorithms()) {
+    EXPECT_EQ(es_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Algorithms, DsRoundTripThroughStrings) {
+  for (DsAlgorithm a : all_ds_algorithms()) {
+    EXPECT_EQ(ds_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Algorithms, ParsingIsCaseInsensitive) {
+  EXPECT_EQ(es_from_string("jobdatapresent"), EsAlgorithm::JobDataPresent);
+  EXPECT_EQ(ds_from_string("DATARANDOM"), DsAlgorithm::DataRandom);
+  EXPECT_EQ(ls_from_string("fifo"), LsAlgorithm::Fifo);
+  EXPECT_EQ(replica_selection_from_string("closest"), ReplicaSelection::Closest);
+  EXPECT_EQ(neighbor_scope_from_string("region"), NeighborScope::Region);
+}
+
+TEST(Algorithms, UnknownNamesThrow) {
+  EXPECT_THROW((void)es_from_string("JobMagic"), util::SimError);
+  EXPECT_THROW((void)ds_from_string(""), util::SimError);
+  EXPECT_THROW((void)ls_from_string("lifo"), util::SimError);
+  EXPECT_THROW((void)replica_selection_from_string("furthest"), util::SimError);
+  EXPECT_THROW((void)neighbor_scope_from_string("planet"), util::SimError);
+}
+
+TEST(Algorithms, PaperFamiliesMatchSection4) {
+  // "We thus have a total of 4x3=12 algorithms to evaluate."
+  EXPECT_EQ(paper_es_algorithms().size(), 4u);
+  EXPECT_EQ(paper_ds_algorithms().size(), 3u);
+  EXPECT_EQ(paper_es_algorithms().front(), EsAlgorithm::JobRandom);
+  EXPECT_EQ(paper_es_algorithms().back(), EsAlgorithm::JobLocal);
+  EXPECT_EQ(paper_ds_algorithms().front(), DsAlgorithm::DataDoNothing);
+}
+
+TEST(Algorithms, ExtensionsAreSupersets) {
+  EXPECT_GT(all_es_algorithms().size(), paper_es_algorithms().size());
+  EXPECT_GT(all_ds_algorithms().size(), paper_ds_algorithms().size());
+  for (EsAlgorithm a : paper_es_algorithms()) {
+    bool found = false;
+    for (EsAlgorithm b : all_es_algorithms()) found = found || a == b;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Algorithms, LsAndScopeNames) {
+  EXPECT_STREQ(to_string(LsAlgorithm::FifoSkip), "FifoSkip");
+  EXPECT_STREQ(to_string(ReplicaSelection::LeastLoadedSource), "LeastLoadedSource");
+  EXPECT_STREQ(to_string(NeighborScope::Grid), "Grid");
+}
+
+}  // namespace
+}  // namespace chicsim::core

@@ -1,0 +1,96 @@
+// Tests of the centralized ES mapping extension.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace chicsim::core {
+namespace {
+
+SimulationConfig central_config(double overhead) {
+  SimulationConfig cfg;
+  cfg.num_users = 12;
+  cfg.num_sites = 6;
+  cfg.num_regions = 3;
+  cfg.num_datasets = 30;
+  cfg.total_jobs = 120;
+  cfg.storage_capacity_mb = 20000.0;
+  cfg.es_mapping = EsMapping::Centralized;
+  cfg.central_decision_overhead_s = overhead;
+  cfg.es = EsAlgorithm::JobDataPresent;
+  cfg.ds = DsAlgorithm::DataLeastLoaded;
+  cfg.replication_threshold = 3.0;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(CentralEs, AllJobsCompleteAndWaitForTheirDecision) {
+  SimulationConfig cfg = central_config(2.0);
+  Grid grid(cfg);
+  grid.run();
+  EXPECT_EQ(grid.metrics().jobs_completed, 120u);
+  for (site::JobId id = 1; id <= cfg.total_jobs; ++id) {
+    const site::Job& job = grid.job(id);
+    // Every decision costs at least the overhead.
+    EXPECT_GE(job.dispatch_time - job.submit_time, 2.0 - 1e-9) << job.describe();
+  }
+  EXPECT_GE(grid.metrics().avg_placement_wait_s, 2.0 - 1e-9);
+}
+
+TEST(CentralEs, BurstSubmissionsSerialise) {
+  // 12 users submit at t=0; the k-th decision lands at k x overhead.
+  SimulationConfig cfg = central_config(5.0);
+  Grid grid(cfg);
+  grid.run();
+  std::vector<double> first_dispatches;
+  for (site::UserId u = 0; u < cfg.num_users; ++u) {
+    // Job ids are user-major: user u's first job is u*jobs_per_user + 1.
+    site::JobId first = u * cfg.jobs_per_user() + 1;
+    first_dispatches.push_back(grid.job(first).dispatch_time);
+  }
+  std::sort(first_dispatches.begin(), first_dispatches.end());
+  for (std::size_t k = 0; k < first_dispatches.size(); ++k) {
+    EXPECT_NEAR(first_dispatches[k], 5.0 * static_cast<double>(k + 1), 1e-6);
+  }
+}
+
+TEST(CentralEs, ZeroOverheadStillSerialisesButCostsNothing) {
+  SimulationConfig cfg = central_config(0.0);
+  Grid grid(cfg);
+  grid.run();
+  EXPECT_EQ(grid.metrics().jobs_completed, 120u);
+  EXPECT_NEAR(grid.metrics().avg_placement_wait_s, 0.0, 1e-9);
+}
+
+TEST(CentralEs, SlowerSchedulerSlowsTheGrid) {
+  Grid fast(central_config(0.1));
+  fast.run();
+  Grid slow(central_config(30.0));
+  slow.run();
+  EXPECT_GT(slow.metrics().avg_response_time_s, fast.metrics().avg_response_time_s);
+  EXPECT_GT(slow.metrics().avg_placement_wait_s, fast.metrics().avg_placement_wait_s);
+}
+
+TEST(CentralEs, DistributedMappingHasNoPlacementWait) {
+  SimulationConfig cfg = central_config(10.0);
+  cfg.es_mapping = EsMapping::Distributed;
+  Grid grid(cfg);
+  grid.run();
+  EXPECT_DOUBLE_EQ(grid.metrics().avg_placement_wait_s, 0.0);
+}
+
+TEST(CentralEs, NegativeOverheadRejected) {
+  SimulationConfig cfg = central_config(-1.0);
+  EXPECT_THROW(cfg.validate(), util::SimError);
+}
+
+TEST(CentralEs, MappingParsesFromConfig) {
+  SimulationConfig cfg;
+  cfg.apply(util::ConfigFile::parse(
+      "es_mapping = Centralized\ncentral_decision_overhead_s = 3.5\n"));
+  EXPECT_EQ(cfg.es_mapping, EsMapping::Centralized);
+  EXPECT_DOUBLE_EQ(cfg.central_decision_overhead_s, 3.5);
+  EXPECT_NE(cfg.describe().find("Centralized"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chicsim::core

@@ -1,0 +1,189 @@
+#include "core/es_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fake_view.hpp"
+#include "util/error.hpp"
+
+namespace chicsim::core {
+namespace {
+
+using testing::FakeGridView;
+using testing::make_job;
+
+TEST(JobLocal, AlwaysPicksOrigin) {
+  FakeGridView view(10, 5);
+  util::Rng rng(1);
+  JobLocalEs es;
+  for (data::SiteIndex origin = 0; origin < 10; ++origin) {
+    auto job = make_job(1, origin, {0});
+    EXPECT_EQ(es.select_site(job, view, rng), origin);
+  }
+}
+
+TEST(JobRandom, CoversAllSites) {
+  FakeGridView view(5, 1);
+  util::Rng rng(2);
+  JobRandomEs es;
+  std::set<data::SiteIndex> seen;
+  auto job = make_job(1, 0, {0});
+  for (int i = 0; i < 500; ++i) seen.insert(es.select_site(job, view, rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(JobLeastLoaded, PicksUniqueMinimum) {
+  FakeGridView view(4, 1);
+  view.loads_ = {5, 2, 9, 7};
+  util::Rng rng(3);
+  JobLeastLoadedEs es;
+  auto job = make_job(1, 0, {0});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(es.select_site(job, view, rng), 1u);
+}
+
+TEST(JobLeastLoaded, BreaksTiesAmongMinimaOnly) {
+  FakeGridView view(4, 1);
+  view.loads_ = {3, 0, 0, 5};
+  util::Rng rng(4);
+  JobLeastLoadedEs es;
+  auto job = make_job(1, 0, {0});
+  std::set<data::SiteIndex> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(es.select_site(job, view, rng));
+  EXPECT_EQ(seen, (std::set<data::SiteIndex>{1, 2}));
+}
+
+TEST(JobDataPresent, PicksTheHolder) {
+  FakeGridView view(6, 3);
+  view.place(2, 4);
+  util::Rng rng(5);
+  JobDataPresentEs es;
+  auto job = make_job(1, 0, {2});
+  EXPECT_EQ(es.select_site(job, view, rng), 4u);
+}
+
+TEST(JobDataPresent, LeastLoadedAmongMultipleHolders) {
+  FakeGridView view(6, 3);
+  view.place(2, 1);
+  view.place(2, 4);
+  view.loads_ = {0, 8, 0, 0, 3, 0};
+  util::Rng rng(6);
+  JobDataPresentEs es;
+  auto job = make_job(1, 0, {2});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(es.select_site(job, view, rng), 4u);
+}
+
+TEST(JobDataPresent, MultiInputPrefersSiteWithMostInputMegabytes) {
+  FakeGridView view(5, 4);
+  view.sizes_ = {1500.0, 600.0, 700.0, 100.0};
+  view.place(0, 1);  // site 1 holds 1500 MB of inputs
+  view.place(1, 2);  // site 2 holds 600 + 700 = 1300 MB
+  view.place(2, 2);
+  util::Rng rng(7);
+  JobDataPresentEs es;
+  auto job = make_job(1, 0, {0, 1, 2});
+  EXPECT_EQ(es.select_site(job, view, rng), 1u);
+}
+
+TEST(JobDataPresent, NoHolderAnywhereFallsBackToLeastLoadedOverall) {
+  // Every site scores zero megabytes -> all qualify -> least loaded wins.
+  FakeGridView view(4, 1);
+  view.loads_ = {2, 0, 4, 4};
+  util::Rng rng(8);
+  JobDataPresentEs es;
+  auto job = make_job(1, 3, {0});
+  EXPECT_EQ(es.select_site(job, view, rng), 1u);
+}
+
+TEST(JobAdaptive, PrefersDataSiteWhenNetworkIsSlow) {
+  FakeGridView view(4, 2);
+  view.place(0, 2);
+  view.bandwidth_ = 1.0;   // 1 MB/s: moving 1 GB costs 1000 s
+  view.congestion_ = 3;
+  util::Rng rng(9);
+  JobAdaptiveEs es;
+  auto job = make_job(1, 0, {0}, 300.0);
+  EXPECT_EQ(es.select_site(job, view, rng), 2u);
+}
+
+TEST(JobAdaptive, RunsLocallyWhenDataIsCheapAndDataSiteIsBusy) {
+  FakeGridView view(4, 2);
+  view.place(0, 2);
+  view.loads_ = {0, 0, 50, 0};  // data site is deeply backlogged
+  view.bandwidth_ = 1000.0;     // near-free data movement
+  util::Rng rng(10);
+  JobAdaptiveEs es;
+  auto job = make_job(1, 0, {0}, 300.0);
+  data::SiteIndex chosen = es.select_site(job, view, rng);
+  EXPECT_NE(chosen, 2u);
+}
+
+TEST(JobAdaptive, EstimateMatchesHandComputation) {
+  FakeGridView view(3, 1);
+  view.loads_ = {4, 0, 0};
+  view.compute_elements_ = {2, 2, 2};
+  view.place(0, 1);
+  view.bandwidth_ = 10.0;
+  view.congestion_ = 1;
+  auto job = make_job(1, 0, {0}, 300.0);
+  // Candidate 0: queue = (4/2)*300 = 600; transfer = 1000/(10/2) = 200;
+  // est = max(600, 200) + 300 = 900.
+  EXPECT_NEAR(JobAdaptiveEs::estimate_completion_s(job, 0, view), 900.0, 1e-9);
+  // Candidate 1 (holds the data): est = max(0, 0) + 300 = 300.
+  EXPECT_NEAR(JobAdaptiveEs::estimate_completion_s(job, 1, view), 300.0, 1e-9);
+}
+
+TEST(JobBestEstimate, ScansEverySiteAndPicksTheGlobalMinimum) {
+  FakeGridView view(5, 1);
+  view.place(0, 2);
+  view.bandwidth_ = 1.0;  // expensive data movement: data site must win
+  util::Rng rng(12);
+  JobBestEstimateEs es;
+  auto job = make_job(1, 0, {0}, 300.0);
+  EXPECT_EQ(es.select_site(job, view, rng), 2u);
+}
+
+TEST(JobBestEstimate, ExploitsFasterProcessorsWhenDataIsCheap) {
+  FakeGridView view(4, 1);
+  view.place(0, 1);
+  view.bandwidth_ = 10000.0;  // data movement nearly free
+  view.speeds_ = {1.0, 1.0, 3.0, 1.0};  // site 2 is 3x faster
+  util::Rng rng(13);
+  JobBestEstimateEs es;
+  auto job = make_job(1, 0, {0}, 300.0);
+  EXPECT_EQ(es.select_site(job, view, rng), 2u);
+}
+
+TEST(JobAdaptive, SpeedFactorsScaleTheEstimate) {
+  FakeGridView view(2, 1);
+  view.place(0, 1);
+  view.speeds_ = {2.0, 1.0};
+  auto job = make_job(1, 0, {0}, 300.0);
+  // Candidate 0 runs at double speed: est = 150 + transfer considerations.
+  double est_fast = JobAdaptiveEs::estimate_completion_s(job, 0, view);
+  double est_data = JobAdaptiveEs::estimate_completion_s(job, 1, view);
+  EXPECT_NEAR(est_data, 300.0, 1e-9);        // data local, nominal speed
+  EXPECT_NEAR(est_fast, 150.0 + 100.0, 1e-9);  // 1000 MB at 10 MB/s wait vs run
+}
+
+TEST(EsPolicies, NamesMatchAlgorithms) {
+  EXPECT_STREQ(JobRandomEs{}.name(), "JobRandom");
+  EXPECT_STREQ(JobLeastLoadedEs{}.name(), "JobLeastLoaded");
+  EXPECT_STREQ(JobDataPresentEs{}.name(), "JobDataPresent");
+  EXPECT_STREQ(JobLocalEs{}.name(), "JobLocal");
+  EXPECT_STREQ(JobAdaptiveEs{}.name(), "JobAdaptive");
+  EXPECT_STREQ(JobBestEstimateEs{}.name(), "JobBestEstimate");
+}
+
+TEST(EsPolicies, JobWithoutInputsIsRejectedByDataAwarePolicies) {
+  FakeGridView view(3, 1);
+  util::Rng rng(11);
+  auto job = make_job(1, 0, {});
+  JobDataPresentEs data_present;
+  EXPECT_THROW((void)data_present.select_site(job, view, rng), util::SimError);
+  JobAdaptiveEs adaptive;
+  EXPECT_THROW((void)adaptive.select_site(job, view, rng), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::core

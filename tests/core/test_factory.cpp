@@ -1,0 +1,39 @@
+#include "core/factory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chicsim::core {
+namespace {
+
+TEST(Factory, EveryEsAlgorithmConstructsWithMatchingName) {
+  for (EsAlgorithm a : all_es_algorithms()) {
+    auto es = make_external_scheduler(a);
+    ASSERT_NE(es, nullptr);
+    EXPECT_STREQ(es->name(), to_string(a));
+  }
+}
+
+TEST(Factory, EveryDsAlgorithmConstructsWithMatchingName) {
+  for (DsAlgorithm a : all_ds_algorithms()) {
+    auto ds = make_dataset_scheduler(a, 10.0);
+    ASSERT_NE(ds, nullptr);
+    EXPECT_STREQ(ds->name(), to_string(a));
+  }
+}
+
+TEST(Factory, EveryLsAlgorithmConstructsWithMatchingName) {
+  for (LsAlgorithm a : {LsAlgorithm::Fifo, LsAlgorithm::FifoSkip, LsAlgorithm::Sjf}) {
+    auto ls = make_local_scheduler(a);
+    ASSERT_NE(ls, nullptr);
+    EXPECT_STREQ(ls->name(), to_string(a));
+  }
+}
+
+TEST(Factory, InstancesAreIndependent) {
+  auto a = make_external_scheduler(EsAlgorithm::JobRandom);
+  auto b = make_external_scheduler(EsAlgorithm::JobRandom);
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace chicsim::core

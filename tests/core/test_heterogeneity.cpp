@@ -1,0 +1,86 @@
+// Tests of the processor-heterogeneity extension (compute_speed_spread).
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace chicsim::core {
+namespace {
+
+SimulationConfig hetero_config(double spread) {
+  SimulationConfig cfg;
+  cfg.num_users = 12;
+  cfg.num_sites = 6;
+  cfg.num_regions = 3;
+  cfg.num_datasets = 30;
+  cfg.total_jobs = 120;
+  cfg.storage_capacity_mb = 20000.0;
+  cfg.compute_speed_spread = spread;
+  cfg.seed = 61;
+  return cfg;
+}
+
+TEST(Heterogeneity, ZeroSpreadKeepsThePaperHomogeneity) {
+  Grid grid(hetero_config(0.0));
+  for (data::SiteIndex s = 0; s < 6; ++s) {
+    EXPECT_DOUBLE_EQ(grid.site_at(s).speed_factor(), 1.0);
+  }
+}
+
+TEST(Heterogeneity, SpeedsDrawnWithinTheSpread) {
+  Grid grid(hetero_config(0.4));
+  bool varied = false;
+  for (data::SiteIndex s = 0; s < 6; ++s) {
+    double v = grid.site_at(s).speed_factor();
+    EXPECT_GE(v, 0.6);
+    EXPECT_LT(v, 1.4);
+    varied = varied || std::abs(v - 1.0) > 0.01;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Heterogeneity, ComputeTimeScalesInverselyWithSpeed) {
+  SimulationConfig cfg = hetero_config(0.5);
+  Grid grid(cfg);
+  grid.run();
+  for (site::JobId id = 1; id <= cfg.total_jobs; ++id) {
+    const site::Job& job = grid.job(id);
+    double speed = grid.site_at(job.exec_site).speed_factor();
+    EXPECT_NEAR(job.compute_done_time - job.start_time, job.runtime_s / speed, 1e-6)
+        << job.describe();
+  }
+}
+
+TEST(Heterogeneity, RunCompletesAndAuditHolds) {
+  Grid grid(hetero_config(0.6));
+  grid.run();
+  EXPECT_EQ(grid.metrics().jobs_completed, 120u);
+  grid.audit();
+}
+
+TEST(Heterogeneity, SpreadDoesNotPerturbHomogeneousWorlds) {
+  // The speed stream is only consumed when spread > 0, so spread-0 runs
+  // are bit-identical to runs built before the extension existed.
+  SimulationConfig cfg = hetero_config(0.0);
+  Grid a(cfg);
+  a.run();
+  Grid b(cfg);
+  b.run();
+  EXPECT_DOUBLE_EQ(a.metrics().avg_response_time_s, b.metrics().avg_response_time_s);
+}
+
+TEST(Heterogeneity, InvalidSpreadRejected) {
+  SimulationConfig cfg = hetero_config(1.0);
+  EXPECT_THROW(cfg.validate(), util::SimError);
+  cfg.compute_speed_spread = -0.1;
+  EXPECT_THROW(cfg.validate(), util::SimError);
+}
+
+TEST(Heterogeneity, ConfigRoundTrip) {
+  SimulationConfig cfg;
+  cfg.apply(util::ConfigFile::parse("compute_speed_spread = 0.3\n"));
+  EXPECT_DOUBLE_EQ(cfg.compute_speed_spread, 0.3);
+  EXPECT_NE(cfg.describe().find("compute_speed_spread"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chicsim::core

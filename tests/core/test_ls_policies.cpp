@@ -1,0 +1,99 @@
+#include "core/ls_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fake_view.hpp"
+
+namespace chicsim::core {
+namespace {
+
+struct QueueFixture {
+  std::deque<site::JobId> queue;
+  std::map<site::JobId, site::Job> jobs;
+
+  void add(site::JobId id, bool data_ready, double runtime_s = 300.0) {
+    site::Job job = testing::make_job(id, 0, {0}, runtime_s);
+    job.inputs_pending = data_ready ? 0 : 1;
+    jobs[id] = job;
+    queue.push_back(id);
+  }
+
+  [[nodiscard]] std::function<const site::Job&(site::JobId)> lookup() const {
+    return [this](site::JobId id) -> const site::Job& { return jobs.at(id); };
+  }
+};
+
+TEST(Fifo, EmptyQueueYieldsNoJob) {
+  QueueFixture f;
+  FifoLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), site::kNoJob);
+}
+
+TEST(Fifo, PicksReadyHead) {
+  QueueFixture f;
+  f.add(1, true);
+  f.add(2, true);
+  FifoLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), 1u);
+}
+
+TEST(Fifo, HeadOfLineBlockingOnData) {
+  QueueFixture f;
+  f.add(1, false);  // head waits for data
+  f.add(2, true);   // ready but behind
+  FifoLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), site::kNoJob);
+}
+
+TEST(FifoSkip, BypassesBlockedHead) {
+  QueueFixture f;
+  f.add(1, false);
+  f.add(2, true);
+  f.add(3, true);
+  FifoSkipLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), 2u);
+}
+
+TEST(FifoSkip, NothingReadyYieldsNoJob) {
+  QueueFixture f;
+  f.add(1, false);
+  f.add(2, false);
+  FifoSkipLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), site::kNoJob);
+}
+
+TEST(Sjf, PicksShortestReadyJob) {
+  QueueFixture f;
+  f.add(1, true, 500.0);
+  f.add(2, true, 150.0);
+  f.add(3, true, 300.0);
+  SjfLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), 2u);
+}
+
+TEST(Sjf, IgnoresBlockedJobsEvenIfShorter) {
+  QueueFixture f;
+  f.add(1, false, 10.0);
+  f.add(2, true, 500.0);
+  SjfLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), 2u);
+}
+
+TEST(Sjf, TiesBreakByArrivalOrder) {
+  QueueFixture f;
+  f.add(5, true, 300.0);
+  f.add(6, true, 300.0);
+  SjfLs ls;
+  EXPECT_EQ(ls.pick_next(f.queue, f.lookup()), 5u);
+}
+
+TEST(LsPolicies, Names) {
+  EXPECT_STREQ(FifoLs{}.name(), "Fifo");
+  EXPECT_STREQ(FifoSkipLs{}.name(), "FifoSkip");
+  EXPECT_STREQ(SjfLs{}.name(), "Sjf");
+}
+
+}  // namespace
+}  // namespace chicsim::core

@@ -1,0 +1,114 @@
+// Tests of the open-loop submission extension.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace chicsim::core {
+namespace {
+
+SimulationConfig openloop_config(double interval) {
+  SimulationConfig cfg;
+  cfg.num_users = 12;
+  cfg.num_sites = 6;
+  cfg.num_regions = 3;
+  cfg.num_datasets = 30;
+  cfg.total_jobs = 120;
+  cfg.storage_capacity_mb = 20000.0;
+  cfg.submission_mode = SubmissionMode::OpenLoop;
+  cfg.arrival_interval_s = interval;
+  cfg.es = EsAlgorithm::JobDataPresent;
+  cfg.ds = DsAlgorithm::DataLeastLoaded;
+  cfg.replication_threshold = 3.0;
+  cfg.seed = 51;
+  return cfg;
+}
+
+TEST(OpenLoop, AllJobsCompleteAndAuditHolds) {
+  Grid grid(openloop_config(400.0));
+  grid.run();
+  EXPECT_EQ(grid.metrics().jobs_completed, 120u);
+  grid.audit();
+}
+
+TEST(OpenLoop, SubmissionsAreDecoupledFromCompletions) {
+  // At a high rate, some user's job k+1 must have been submitted before
+  // job k finished — impossible in the paper's closed loop.
+  SimulationConfig cfg = openloop_config(50.0);
+  Grid grid(cfg);
+  grid.run();
+  bool overlapping = false;
+  for (site::UserId u = 0; u < cfg.num_users && !overlapping; ++u) {
+    for (std::size_t k = 1; k < cfg.jobs_per_user(); ++k) {
+      site::JobId prev = u * cfg.jobs_per_user() + k;      // 1-based ids
+      site::JobId next = prev + 1;
+      if (grid.job(next).submit_time < grid.job(prev).finish_time - 1e-9) {
+        overlapping = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlapping);
+}
+
+TEST(OpenLoop, NoThunderingHerdAtTimeZero) {
+  SimulationConfig cfg = openloop_config(400.0);
+  Grid grid(cfg);
+  grid.run();
+  for (site::JobId id = 1; id <= cfg.total_jobs; ++id) {
+    EXPECT_GT(grid.job(id).submit_time, 0.0);
+  }
+}
+
+TEST(OpenLoop, PerUserSubmissionsRemainOrdered) {
+  SimulationConfig cfg = openloop_config(100.0);
+  Grid grid(cfg);
+  grid.run();
+  for (site::UserId u = 0; u < cfg.num_users; ++u) {
+    for (std::size_t k = 1; k < cfg.jobs_per_user(); ++k) {
+      site::JobId prev = u * cfg.jobs_per_user() + k;
+      EXPECT_LE(grid.job(prev).submit_time, grid.job(prev + 1).submit_time);
+    }
+  }
+}
+
+TEST(OpenLoop, HigherLoadMeansLongerResponses) {
+  Grid light(openloop_config(2000.0));
+  light.run();
+  Grid heavy(openloop_config(60.0));
+  heavy.run();
+  EXPECT_GT(heavy.metrics().avg_response_time_s, light.metrics().avg_response_time_s);
+}
+
+TEST(OpenLoop, MeanInterarrivalApproximatesConfiguration) {
+  SimulationConfig cfg = openloop_config(300.0);
+  Grid grid(cfg);
+  grid.run();
+  // Average gap between a user's consecutive submissions ~ Exp(300) mean.
+  double total_gap = 0.0;
+  std::size_t gaps = 0;
+  for (site::UserId u = 0; u < cfg.num_users; ++u) {
+    for (std::size_t k = 1; k < cfg.jobs_per_user(); ++k) {
+      site::JobId prev = u * cfg.jobs_per_user() + k;
+      total_gap += grid.job(prev + 1).submit_time - grid.job(prev).submit_time;
+      ++gaps;
+    }
+  }
+  EXPECT_NEAR(total_gap / static_cast<double>(gaps), 300.0, 90.0);
+}
+
+TEST(OpenLoop, ClosedLoopRemainsTheDefault) {
+  SimulationConfig cfg;
+  EXPECT_EQ(cfg.submission_mode, SubmissionMode::ClosedLoop);
+}
+
+TEST(OpenLoop, ConfigParsesModeAndInterval) {
+  SimulationConfig cfg;
+  cfg.apply(util::ConfigFile::parse("submission_mode = OpenLoop\narrival_interval_s = 42\n"));
+  EXPECT_EQ(cfg.submission_mode, SubmissionMode::OpenLoop);
+  EXPECT_DOUBLE_EQ(cfg.arrival_interval_s, 42.0);
+  cfg.arrival_interval_s = 0.0;
+  EXPECT_THROW(cfg.validate(), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::core

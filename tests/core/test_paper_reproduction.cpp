@@ -1,0 +1,107 @@
+// The paper's findings as a test suite: one full Table 1 matrix run
+// (single seed for test-time budget; the bench binaries average three) and
+// the qualitative claims of §5.3-§5.4 asserted directly. If a model change
+// breaks the reproduction, `ctest` fails — not just the bench harness.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace chicsim::core {
+namespace {
+
+class PaperReproduction : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimulationConfig cfg;  // Table 1 defaults
+    ExperimentRunner runner(cfg, {101});
+    cells_ = new std::vector<CellResult>(
+        runner.run_matrix(paper_es_algorithms(), paper_ds_algorithms()));
+  }
+
+  static void TearDownTestSuite() {
+    delete cells_;
+    cells_ = nullptr;
+  }
+
+  static double rt(EsAlgorithm es, DsAlgorithm ds) {
+    for (const auto& c : *cells_) {
+      if (c.es == es && c.ds == ds) return c.avg_response_time_s;
+    }
+    ADD_FAILURE() << "missing cell";
+    return 0.0;
+  }
+
+  static double mb(EsAlgorithm es, DsAlgorithm ds) {
+    for (const auto& c : *cells_) {
+      if (c.es == es && c.ds == ds) return c.avg_data_per_job_mb;
+    }
+    ADD_FAILURE() << "missing cell";
+    return 0.0;
+  }
+
+  static double idle(EsAlgorithm es, DsAlgorithm ds) {
+    for (const auto& c : *cells_) {
+      if (c.es == es && c.ds == ds) return c.idle_fraction;
+    }
+    ADD_FAILURE() << "missing cell";
+    return 0.0;
+  }
+
+  static std::vector<CellResult>* cells_;
+};
+
+std::vector<CellResult>* PaperReproduction::cells_ = nullptr;
+
+TEST_F(PaperReproduction, WithoutReplicationJobLocalIsBestAndDataPresentWorst) {
+  double local = rt(EsAlgorithm::JobLocal, DsAlgorithm::DataDoNothing);
+  double dp = rt(EsAlgorithm::JobDataPresent, DsAlgorithm::DataDoNothing);
+  EXPECT_LE(local, rt(EsAlgorithm::JobRandom, DsAlgorithm::DataDoNothing));
+  EXPECT_LE(local, rt(EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataDoNothing));
+  EXPECT_LE(local, dp);
+  EXPECT_GE(dp, rt(EsAlgorithm::JobRandom, DsAlgorithm::DataDoNothing));
+  EXPECT_GE(dp, rt(EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataDoNothing));
+}
+
+TEST_F(PaperReproduction, WithReplicationJobDataPresentDominates) {
+  for (DsAlgorithm ds : {DsAlgorithm::DataRandom, DsAlgorithm::DataLeastLoaded}) {
+    double dp = rt(EsAlgorithm::JobDataPresent, ds);
+    EXPECT_LT(dp, rt(EsAlgorithm::JobRandom, ds));
+    EXPECT_LT(dp, rt(EsAlgorithm::JobLeastLoaded, ds));
+    EXPECT_LT(dp, rt(EsAlgorithm::JobLocal, ds));
+    // ...and beats the best no-replication configuration.
+    EXPECT_LT(dp, rt(EsAlgorithm::JobLocal, DsAlgorithm::DataDoNothing));
+  }
+}
+
+TEST_F(PaperReproduction, ReplicationDoesNotRescueTheOtherAlgorithms) {
+  for (EsAlgorithm es :
+       {EsAlgorithm::JobRandom, EsAlgorithm::JobLeastLoaded, EsAlgorithm::JobLocal}) {
+    double base = rt(es, DsAlgorithm::DataDoNothing);
+    EXPECT_GT(rt(es, DsAlgorithm::DataRandom), 0.9 * base);
+    EXPECT_GT(rt(es, DsAlgorithm::DataLeastLoaded), 0.9 * base);
+  }
+}
+
+TEST_F(PaperReproduction, DataPresentMovesFarLessData) {
+  for (DsAlgorithm ds : paper_ds_algorithms()) {
+    double dp_mb = mb(EsAlgorithm::JobDataPresent, ds);
+    for (EsAlgorithm es :
+         {EsAlgorithm::JobRandom, EsAlgorithm::JobLeastLoaded, EsAlgorithm::JobLocal}) {
+      EXPECT_GT(mb(es, ds) - dp_mb, 300.0);
+    }
+  }
+}
+
+TEST_F(PaperReproduction, IdleTimeMirrorsResponseTime) {
+  EXPECT_GT(idle(EsAlgorithm::JobDataPresent, DsAlgorithm::DataDoNothing), 0.6);
+  EXPECT_LT(idle(EsAlgorithm::JobDataPresent, DsAlgorithm::DataLeastLoaded), 0.5);
+}
+
+TEST_F(PaperReproduction, ReplicationStrategiesAreInterchangeable) {
+  double r = rt(EsAlgorithm::JobDataPresent, DsAlgorithm::DataRandom);
+  double l = rt(EsAlgorithm::JobDataPresent, DsAlgorithm::DataLeastLoaded);
+  EXPECT_LT(std::abs(r - l) / std::max(r, l), 0.15);
+}
+
+}  // namespace
+}  // namespace chicsim::core

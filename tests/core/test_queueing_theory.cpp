@@ -1,0 +1,107 @@
+// Analytic validation: configured degenerately, the whole simulator must
+// reduce to textbook queueing systems.
+//
+// Setup: one site, one compute element, one open-loop user (Poisson
+// arrivals), every dataset local (no transfers) — an M/G/1 queue whose
+// service times are the generated job runtimes. The measured mean queue
+// wait must match the Pollaczek–Khinchine formula
+//
+//     W = lambda * E[S^2] / (2 * (1 - rho)),    rho = lambda * E[S]
+//
+// with the moments computed from the *actual* generated service times.
+// This ties the event engine, the queueing logic and the metrics pipeline
+// to theory in one assertion.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace chicsim::core {
+namespace {
+
+class Mg1Validation : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mg1Validation, QueueWaitMatchesPollaczekKhinchine) {
+  const double interval = GetParam();  // mean interarrival (1/lambda)
+  SimulationConfig cfg;
+  cfg.num_users = 1;
+  cfg.num_sites = 1;
+  cfg.num_regions = 1;
+  cfg.min_compute_elements = 1;
+  cfg.max_compute_elements = 1;
+  cfg.num_datasets = 10;
+  cfg.total_jobs = 4000;  // long run for tight convergence
+  cfg.storage_capacity_mb = 25000.0;
+  cfg.submission_mode = SubmissionMode::OpenLoop;
+  cfg.arrival_interval_s = interval;
+  cfg.es = EsAlgorithm::JobLocal;
+  cfg.ds = DsAlgorithm::DataDoNothing;
+  cfg.seed = 9001;
+
+  Grid grid(cfg);
+
+  // Moments of the service distribution from the actual workload.
+  double sum_s = 0.0;
+  double sum_s2 = 0.0;
+  for (site::JobId id = 1; id <= cfg.total_jobs; ++id) {
+    double s = grid.job(id).runtime_s;
+    sum_s += s;
+    sum_s2 += s * s;
+  }
+  double n = static_cast<double>(cfg.total_jobs);
+  double es = sum_s / n;
+  double es2 = sum_s2 / n;
+  double lambda = 1.0 / interval;
+  double rho = lambda * es;
+  ASSERT_LT(rho, 0.9) << "test parameters must keep the queue stable";
+  double predicted_wait = lambda * es2 / (2.0 * (1.0 - rho));
+
+  grid.run();
+  const RunMetrics& m = grid.metrics();
+
+  // No data movement in this degenerate world.
+  EXPECT_EQ(m.remote_fetches, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_data_wait_s, 0.0);
+
+  // Measured mean wait vs P-K, within simulation noise. The tolerance
+  // scales with the predicted wait (heavier traffic converges more slowly).
+  double tolerance = std::max(0.25 * predicted_wait, 12.0);
+  EXPECT_NEAR(m.avg_queue_wait_s, predicted_wait, tolerance)
+      << "rho=" << rho << " predicted=" << predicted_wait
+      << " measured=" << m.avg_queue_wait_s;
+
+  // Utilization of the lone processor must equal rho (up to noise).
+  EXPECT_NEAR(m.utilization, rho, 0.06);
+
+  // And response = wait + service on average.
+  EXPECT_NEAR(m.avg_response_time_s, m.avg_queue_wait_s + es, es * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrafficIntensities, Mg1Validation,
+                         ::testing::Values(1500.0, 900.0, 600.0, 500.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "interarrival" +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(DeterministicPipeline, ZeroLoadMeansZeroWait) {
+  // One user, closed loop, one huge-capacity site: every job starts the
+  // moment it is dispatched — response == compute exactly.
+  SimulationConfig cfg;
+  cfg.num_users = 1;
+  cfg.num_sites = 1;
+  cfg.num_regions = 1;
+  cfg.min_compute_elements = 2;
+  cfg.max_compute_elements = 2;
+  cfg.num_datasets = 10;
+  cfg.total_jobs = 50;
+  cfg.storage_capacity_mb = 25000.0;
+  cfg.es = EsAlgorithm::JobLocal;
+  cfg.ds = DsAlgorithm::DataDoNothing;
+  Grid grid(cfg);
+  grid.run();
+  EXPECT_DOUBLE_EQ(grid.metrics().avg_queue_wait_s, 0.0);
+  EXPECT_NEAR(grid.metrics().avg_response_time_s, grid.metrics().avg_compute_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace chicsim::core

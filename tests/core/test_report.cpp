@@ -1,0 +1,109 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace chicsim::core {
+namespace {
+
+SimulationConfig report_config() {
+  SimulationConfig cfg;
+  cfg.num_users = 12;
+  cfg.num_sites = 6;
+  cfg.num_regions = 3;
+  cfg.num_datasets = 30;
+  cfg.total_jobs = 120;
+  cfg.storage_capacity_mb = 20000.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Report, RunSummaryMentionsHeadlineMetrics) {
+  Grid grid(report_config());
+  grid.run();
+  std::string text = render_run_summary(grid.metrics());
+  for (const char* needle : {"jobs completed", "makespan", "avg response time",
+                             "data transferred / job", "processor idle time"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(text.find("120"), std::string::npos);
+}
+
+TEST(Report, SiteTableHasOneRowPerSite) {
+  SimulationConfig cfg = report_config();
+  Grid grid(cfg);
+  grid.run();
+  std::string table = render_site_table(grid);
+  // header + rule + one row per site
+  std::size_t lines = 0;
+  for (char c : table) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, cfg.num_sites + 2);
+}
+
+TEST(Report, SiteTableDispatchTotalsMatchWorkload) {
+  SimulationConfig cfg = report_config();
+  Grid grid(cfg);
+  grid.run();
+  std::uint64_t dispatched = 0;
+  for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) {
+    dispatched += grid.site_at(s).jobs_dispatched_here();
+  }
+  EXPECT_EQ(dispatched, cfg.total_jobs);
+}
+
+TEST(Report, MetricsCsvParsesBack) {
+  Grid grid(report_config());
+  grid.run();
+  std::ostringstream out;
+  write_metrics_csv(grid.metrics(), out);
+  util::CsvTable table = util::parse_csv_string(out.str());
+  ASSERT_EQ(table.rows.size(), 1u);
+  std::size_t col = table.column_index("jobs_completed");
+  EXPECT_EQ(util::parse_int(table.rows[0][col]).value(), 120);
+  std::size_t resp = table.column_index("avg_response_time_s");
+  EXPECT_NEAR(util::parse_double(table.rows[0][resp]).value(),
+              grid.metrics().avg_response_time_s, 1e-3);
+}
+
+TEST(Report, JobsCsvHasOneRowPerJobAndConsistentColumns) {
+  SimulationConfig cfg = report_config();
+  Grid grid(cfg);
+  grid.run();
+  std::ostringstream out;
+  write_jobs_csv(grid, out);
+  util::CsvTable table = util::parse_csv_string(out.str());
+  ASSERT_EQ(table.rows.size(), cfg.total_jobs);
+  std::size_t resp = table.column_index("response_s");
+  std::size_t submit = table.column_index("submit_s");
+  std::size_t finish = table.column_index("finish_s");
+  for (const auto& row : table.rows) {
+    double r = util::parse_double(row[resp]).value();
+    double s = util::parse_double(row[submit]).value();
+    double f = util::parse_double(row[finish]).value();
+    EXPECT_NEAR(r, f - s, 2e-3);
+    EXPECT_GE(r, 0.0);
+  }
+}
+
+TEST(Report, MatrixCsvHasOneRowPerCell) {
+  SimulationConfig cfg = report_config();
+  ExperimentRunner runner(cfg, {1});
+  auto cells = runner.run_matrix({EsAlgorithm::JobLocal, EsAlgorithm::JobDataPresent},
+                                 {DsAlgorithm::DataDoNothing, DsAlgorithm::DataRandom});
+  std::ostringstream out;
+  write_matrix_csv(cells, out);
+  util::CsvTable table = util::parse_csv_string(out.str());
+  ASSERT_EQ(table.rows.size(), 4u);
+  std::size_t es_col = table.column_index("es");
+  EXPECT_EQ(table.rows[0][es_col], "JobLocal");
+  EXPECT_EQ(table.rows[2][es_col], "JobDataPresent");
+}
+
+}  // namespace
+}  // namespace chicsim::core

@@ -1,0 +1,23 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "chicsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleHeader) {
+  chicsim::core::SimulationConfig cfg;
+  cfg.num_users = 6;
+  cfg.num_sites = 3;
+  cfg.num_regions = 1;
+  cfg.num_datasets = 9;
+  cfg.total_jobs = 18;
+  cfg.storage_capacity_mb = 20000.0;
+  cfg.es = chicsim::core::EsAlgorithm::JobDataPresent;
+  cfg.ds = chicsim::core::DsAlgorithm::DataRandom;
+  chicsim::core::Grid grid(cfg);
+  grid.run();
+  EXPECT_EQ(grid.metrics().jobs_completed, 18u);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "data/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace chicsim::data {
+namespace {
+
+TEST(DatasetCatalog, AddAssignsDenseIds) {
+  DatasetCatalog c;
+  EXPECT_EQ(c.add("a", 500.0), 0u);
+  EXPECT_EQ(c.add("b", 700.0), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.get(1).name, "b");
+  EXPECT_DOUBLE_EQ(c.size_mb(0), 500.0);
+}
+
+TEST(DatasetCatalog, TotalMb) {
+  DatasetCatalog c;
+  c.add("a", 500.0);
+  c.add("b", 700.0);
+  EXPECT_DOUBLE_EQ(c.total_mb(), 1200.0);
+}
+
+TEST(DatasetCatalog, NonPositiveSizeThrows) {
+  DatasetCatalog c;
+  EXPECT_THROW(c.add("bad", 0.0), util::SimError);
+  EXPECT_THROW(c.add("bad", -5.0), util::SimError);
+}
+
+TEST(DatasetCatalog, OutOfRangeGetThrows) {
+  DatasetCatalog c;
+  c.add("a", 1.0);
+  EXPECT_THROW((void)c.get(1), util::SimError);
+  EXPECT_THROW((void)c.get(kNoDataset), util::SimError);
+}
+
+TEST(DatasetCatalog, GenerateUniformRespectsTable1Range) {
+  util::Rng rng(1);
+  DatasetCatalog c = DatasetCatalog::generate_uniform(200, 500.0, 2000.0, rng);
+  ASSERT_EQ(c.size(), 200u);
+  for (DatasetId d = 0; d < c.size(); ++d) {
+    EXPECT_GE(c.size_mb(d), 500.0);
+    EXPECT_LT(c.size_mb(d), 2000.0);
+  }
+}
+
+TEST(DatasetCatalog, GenerateUniformMeanIsCentered) {
+  util::Rng rng(2);
+  DatasetCatalog c = DatasetCatalog::generate_uniform(5000, 500.0, 2000.0, rng);
+  EXPECT_NEAR(c.total_mb() / 5000.0, 1250.0, 25.0);
+}
+
+TEST(DatasetCatalog, GenerateIsSeedDeterministic) {
+  util::Rng r1(7);
+  util::Rng r2(7);
+  DatasetCatalog a = DatasetCatalog::generate_uniform(50, 500.0, 2000.0, r1);
+  DatasetCatalog b = DatasetCatalog::generate_uniform(50, 500.0, 2000.0, r2);
+  for (DatasetId d = 0; d < 50; ++d) EXPECT_DOUBLE_EQ(a.size_mb(d), b.size_mb(d));
+}
+
+TEST(DatasetCatalog, GenerateBadRangeThrows) {
+  util::Rng rng(3);
+  EXPECT_THROW((void)DatasetCatalog::generate_uniform(10, 0.0, 100.0, rng), util::SimError);
+  EXPECT_THROW((void)DatasetCatalog::generate_uniform(10, 200.0, 100.0, rng), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::data

@@ -1,0 +1,80 @@
+#include "data/popularity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chicsim::data {
+namespace {
+
+TEST(Popularity, CountsRequests) {
+  PopularityTracker p;
+  p.record(0, 1.0);
+  p.record(0, 2.0);
+  p.record(1, 2.0);
+  EXPECT_DOUBLE_EQ(p.count(0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.count(1, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.count(9, 5.0), 0.0);
+  EXPECT_EQ(p.total_requests(), 3u);
+}
+
+TEST(Popularity, NoDecayByDefault) {
+  PopularityTracker p;
+  p.record(0, 0.0);
+  EXPECT_DOUBLE_EQ(p.count(0, 1e9), 1.0);
+}
+
+TEST(Popularity, OverThresholdSortedByCount) {
+  PopularityTracker p;
+  for (int i = 0; i < 5; ++i) p.record(0, 1.0);
+  for (int i = 0; i < 9; ++i) p.record(1, 1.0);
+  for (int i = 0; i < 5; ++i) p.record(2, 1.0);
+  p.record(3, 1.0);
+  auto hot = p.over_threshold(5.0, 2.0);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_EQ(hot[0], 1u);  // highest count first
+  EXPECT_EQ(hot[1], 0u);  // count ties break by ascending id
+  EXPECT_EQ(hot[2], 2u);
+}
+
+TEST(Popularity, ResetClearsOneDataset) {
+  PopularityTracker p;
+  p.record(0, 1.0);
+  p.record(1, 1.0);
+  p.reset(0);
+  EXPECT_DOUBLE_EQ(p.count(0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.count(1, 2.0), 1.0);
+  // total is a lifetime counter and survives resets.
+  EXPECT_EQ(p.total_requests(), 2u);
+}
+
+TEST(Popularity, ResetAll) {
+  PopularityTracker p;
+  p.record(0, 1.0);
+  p.record(1, 1.0);
+  p.reset_all();
+  EXPECT_TRUE(p.over_threshold(0.5, 2.0).empty());
+}
+
+TEST(Popularity, HalfLifeDecaysCounts) {
+  PopularityTracker p(/*half_life_s=*/100.0);
+  for (int i = 0; i < 8; ++i) p.record(0, 0.0);
+  EXPECT_NEAR(p.count(0, 100.0), 4.0, 1e-9);
+  EXPECT_NEAR(p.count(0, 200.0), 2.0, 1e-9);
+  EXPECT_NEAR(p.count(0, 300.0), 1.0, 1e-9);
+}
+
+TEST(Popularity, DecayAppliesBetweenRecordings) {
+  PopularityTracker p(/*half_life_s=*/100.0);
+  p.record(0, 0.0);   // 1.0 at t=0
+  p.record(0, 100.0); // 0.5 decayed + 1 = 1.5 at t=100
+  EXPECT_NEAR(p.count(0, 100.0), 1.5, 1e-9);
+}
+
+TEST(Popularity, ThresholdHonoursDecay) {
+  PopularityTracker p(/*half_life_s=*/10.0);
+  for (int i = 0; i < 4; ++i) p.record(0, 0.0);
+  EXPECT_EQ(p.over_threshold(3.0, 0.0).size(), 1u);
+  EXPECT_TRUE(p.over_threshold(3.0, 20.0).empty());  // decayed to 1
+}
+
+}  // namespace
+}  // namespace chicsim::data

@@ -1,0 +1,74 @@
+#include "data/replica_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace chicsim::data {
+namespace {
+
+TEST(ReplicaCatalog, AddAndQuery) {
+  ReplicaCatalog c(5);
+  c.add(0, 3);
+  c.add(0, 7);
+  EXPECT_TRUE(c.has(0, 3));
+  EXPECT_TRUE(c.has(0, 7));
+  EXPECT_FALSE(c.has(0, 1));
+  EXPECT_EQ(c.replica_count(0), 2u);
+  EXPECT_EQ(c.total_replicas(), 2u);
+}
+
+TEST(ReplicaCatalog, AddIsIdempotent) {
+  ReplicaCatalog c(2);
+  c.add(1, 4);
+  c.add(1, 4);
+  EXPECT_EQ(c.replica_count(1), 1u);
+  EXPECT_EQ(c.total_replicas(), 1u);
+}
+
+TEST(ReplicaCatalog, LocationsPreserveInsertionOrder) {
+  ReplicaCatalog c(1);
+  c.add(0, 9);
+  c.add(0, 2);
+  c.add(0, 5);
+  EXPECT_EQ(c.locations(0), (std::vector<SiteIndex>{9, 2, 5}));
+}
+
+TEST(ReplicaCatalog, RemoveExisting) {
+  ReplicaCatalog c(1);
+  c.add(0, 1);
+  c.add(0, 2);
+  EXPECT_TRUE(c.remove(0, 1));
+  EXPECT_FALSE(c.has(0, 1));
+  EXPECT_EQ(c.replica_count(0), 1u);
+  EXPECT_EQ(c.total_replicas(), 1u);
+}
+
+TEST(ReplicaCatalog, RemoveAbsentReturnsFalse) {
+  ReplicaCatalog c(1);
+  c.add(0, 1);
+  EXPECT_FALSE(c.remove(0, 2));
+  EXPECT_EQ(c.total_replicas(), 1u);
+}
+
+TEST(ReplicaCatalog, NeverPlacedDatasetHasNoLocations) {
+  ReplicaCatalog c(3);
+  EXPECT_TRUE(c.locations(2).empty());
+  EXPECT_EQ(c.replica_count(2), 0u);
+}
+
+TEST(ReplicaCatalog, OutOfRangeDatasetThrows) {
+  ReplicaCatalog c(2);
+  EXPECT_THROW(c.add(2, 0), util::SimError);
+  EXPECT_THROW((void)c.remove(5, 0), util::SimError);
+  EXPECT_THROW((void)c.locations(2), util::SimError);
+  EXPECT_THROW((void)c.has(2, 0), util::SimError);
+}
+
+TEST(ReplicaCatalog, DatasetCount) {
+  ReplicaCatalog c(7);
+  EXPECT_EQ(c.dataset_count(), 7u);
+}
+
+}  // namespace
+}  // namespace chicsim::data

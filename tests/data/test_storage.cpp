@@ -1,0 +1,186 @@
+#include "data/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace chicsim::data {
+namespace {
+
+TEST(Storage, MasterCopiesArePinned) {
+  StorageManager s(1000.0);
+  s.add_master(0, 400.0);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.is_pinned(0));
+  EXPECT_DOUBLE_EQ(s.used_mb(), 400.0);
+  EXPECT_FALSE(s.evict(0));  // pinned copies never leave
+  EXPECT_TRUE(s.contains(0));
+}
+
+TEST(Storage, MasterOverflowThrows) {
+  StorageManager s(1000.0);
+  s.add_master(0, 800.0);
+  EXPECT_THROW(s.add_master(1, 300.0), util::SimError);
+}
+
+TEST(Storage, DuplicateMasterThrows) {
+  StorageManager s(1000.0);
+  s.add_master(0, 100.0);
+  EXPECT_THROW(s.add_master(0, 100.0), util::SimError);
+}
+
+TEST(Storage, ReplicaAddAndPresence) {
+  StorageManager s(1000.0);
+  auto outcome = s.add_replica(3, 250.0);
+  EXPECT_TRUE(outcome.newly_added);
+  EXPECT_FALSE(outcome.transient);
+  EXPECT_TRUE(outcome.evicted.empty());
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_DOUBLE_EQ(s.free_mb(), 750.0);
+}
+
+TEST(Storage, ReAddingReplicaIsATouch) {
+  StorageManager s(1000.0);
+  (void)s.add_replica(1, 100.0);
+  auto outcome = s.add_replica(1, 100.0);
+  EXPECT_FALSE(outcome.newly_added);
+  EXPECT_EQ(s.entry_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.used_mb(), 100.0);
+}
+
+TEST(Storage, LruEvictionOrder) {
+  StorageManager s(300.0);
+  (void)s.add_replica(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 100.0);
+  // 0 is least recently used; adding a 4th evicts it.
+  auto outcome = s.add_replica(3, 100.0);
+  EXPECT_TRUE(outcome.newly_added);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0], 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.contains(1));
+}
+
+TEST(Storage, TouchProtectsFromEviction) {
+  StorageManager s(300.0);
+  (void)s.add_replica(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 100.0);
+  s.touch(0);  // now 1 is the LRU entry
+  auto outcome = s.add_replica(3, 100.0);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0], 1u);
+  EXPECT_TRUE(s.contains(0));
+}
+
+TEST(Storage, LookupRecordsHitsAndMissesAndTouches) {
+  StorageManager s(300.0);
+  (void)s.add_replica(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 100.0);
+  EXPECT_TRUE(s.lookup(0));   // hit + touch: 1 becomes LRU
+  EXPECT_FALSE(s.lookup(9));  // miss
+  EXPECT_EQ(s.stats().hits, 1u);
+  EXPECT_EQ(s.stats().misses, 1u);
+  auto outcome = s.add_replica(3, 100.0);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0], 1u);
+}
+
+TEST(Storage, ReferencedEntriesAreNotEvicted) {
+  StorageManager s(300.0);
+  (void)s.add_replica(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 100.0);
+  s.acquire(0);  // 0 is LRU but referenced
+  auto outcome = s.add_replica(3, 100.0);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0], 1u);
+  EXPECT_TRUE(s.contains(0));
+  s.release(0);
+}
+
+TEST(Storage, MultipleEvictionsForLargeArrival) {
+  StorageManager s(300.0);
+  (void)s.add_replica(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 100.0);
+  auto outcome = s.add_replica(3, 250.0);
+  EXPECT_EQ(outcome.evicted.size(), 3u);
+  EXPECT_EQ(s.entry_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.used_mb(), 250.0);
+}
+
+TEST(Storage, TransientOverflowWhenNothingEvictable) {
+  StorageManager s(300.0);
+  (void)s.add_replica(0, 200.0);
+  s.acquire(0);
+  auto outcome = s.add_replica(1, 200.0);  // cannot fit: 0 is referenced
+  EXPECT_TRUE(outcome.newly_added);
+  EXPECT_TRUE(outcome.transient);
+  EXPECT_EQ(s.stats().overflow_adds, 1u);
+  EXPECT_TRUE(s.contains(1));
+  // The transient copy evaporates when its last reference is released.
+  s.acquire(1);
+  s.release(1);
+  EXPECT_FALSE(s.contains(1));
+  s.release(0);
+}
+
+TEST(Storage, ManualEvictRespectsPinsAndRefs) {
+  StorageManager s(1000.0);
+  s.add_master(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 100.0);
+  s.acquire(2);
+  EXPECT_FALSE(s.evict(0));  // pinned
+  EXPECT_FALSE(s.evict(2));  // referenced
+  EXPECT_FALSE(s.evict(9));  // absent
+  EXPECT_TRUE(s.evict(1));
+  EXPECT_FALSE(s.contains(1));
+  s.release(2);
+}
+
+TEST(Storage, AcquireReleaseBookkeeping) {
+  StorageManager s(1000.0);
+  (void)s.add_replica(0, 100.0);
+  s.acquire(0);
+  s.acquire(0);
+  s.release(0);
+  EXPECT_TRUE(s.contains(0));  // still one reference
+  s.release(0);
+  EXPECT_TRUE(s.contains(0));  // non-transient entries persist
+  EXPECT_THROW(s.release(0), util::SimError);
+  EXPECT_THROW(s.acquire(42), util::SimError);
+}
+
+TEST(Storage, HeldListsEverything) {
+  StorageManager s(1000.0);
+  s.add_master(0, 100.0);
+  (void)s.add_replica(5, 100.0);
+  auto held = s.held();
+  std::sort(held.begin(), held.end());
+  EXPECT_EQ(held, (std::vector<DatasetId>{0, 5}));
+}
+
+TEST(Storage, StatsCountEvictions) {
+  StorageManager s(200.0);
+  (void)s.add_replica(0, 100.0);
+  (void)s.add_replica(1, 100.0);
+  (void)s.add_replica(2, 150.0);
+  EXPECT_EQ(s.stats().evictions, 2u);
+}
+
+TEST(Storage, InvalidConstructionAndArgsThrow) {
+  EXPECT_THROW(StorageManager(0.0), util::SimError);
+  StorageManager s(100.0);
+  EXPECT_THROW(s.add_master(0, 0.0), util::SimError);
+  EXPECT_THROW((void)s.add_replica(0, -1.0), util::SimError);
+  EXPECT_THROW(s.touch(0), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::data

@@ -1,0 +1,91 @@
+// Parameterized analytic checks of the fluid transfer model: for n equal
+// flows sharing one bottleneck link of bandwidth B, every flow of size S
+// must complete at exactly t = S * n / B, across a sweep of (n, B, S).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "net/transfer_manager.hpp"
+
+namespace chicsim::net {
+namespace {
+
+using Params = std::tuple<int, double, double>;  // flows, bandwidth, size
+
+class EqualShareAnalytic : public ::testing::TestWithParam<Params> {};
+
+TEST_P(EqualShareAnalytic, SharedBottleneckFinishesAtTheFluidPrediction) {
+  auto [n, bandwidth, size] = GetParam();
+  sim::Engine engine;
+  // n destinations behind one hub; all flows leave site 0 and share the
+  // site0-hub link.
+  Topology topo = build_star(static_cast<std::size_t>(n) + 1, bandwidth);
+  Routing routing(topo);
+  TransferManager tm(engine, topo, routing);
+
+  std::vector<double> done(static_cast<std::size_t>(n), -1.0);
+  for (int i = 0; i < n; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    tm.start(0, static_cast<NodeId>(i + 1), size, TransferPurpose::JobFetch,
+             [&engine, &done, idx](TransferId) { done[idx] = engine.now(); });
+  }
+  engine.run();
+
+  double expected = size * static_cast<double>(n) / bandwidth;
+  for (double t : done) EXPECT_NEAR(t, expected, expected * 1e-9 + 1e-9);
+  EXPECT_EQ(tm.active_count(), 0u);
+  EXPECT_NEAR(tm.stats().total_delivered_mb(), size * n, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EqualShareAnalytic,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(10.0, 100.0),
+                       ::testing::Values(500.0, 2000.0)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_bw" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) + "_mb" +
+             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+/// Staggered-arrival analytic case, swept over the stagger offset: flow A
+/// (size 1000) starts at t=0, flow B (size 1000) at t=offset on the same
+/// bottleneck. Piecewise-constant rates give closed-form finish times.
+class StaggeredAnalytic : public ::testing::TestWithParam<double> {};
+
+TEST_P(StaggeredAnalytic, PiecewiseRatesMatchClosedForm) {
+  double offset = GetParam();
+  sim::Engine engine;
+  Topology topo = build_star(3, 10.0);
+  Routing routing(topo);
+  TransferManager tm(engine, topo, routing);
+
+  double done_a = -1.0;
+  double done_b = -1.0;
+  tm.start(0, 1, 1000.0, TransferPurpose::JobFetch,
+           [&](TransferId) { done_a = engine.now(); });
+  engine.schedule_at(offset, [&] {
+    tm.start(0, 2, 1000.0, TransferPurpose::JobFetch,
+             [&](TransferId) { done_b = engine.now(); });
+  });
+  engine.run();
+
+  // A alone until offset: moves 10*offset MB. Then both at 5 MB/s.
+  // A finishes at offset + (1000 - 10*offset)/5; B still has
+  // 1000 - (done_a - offset)*5 MB left and runs alone at 10 MB/s after.
+  double a_expected = offset + (1000.0 - 10.0 * offset) / 5.0;
+  double b_transferred_when_a_done = (a_expected - offset) * 5.0;
+  double b_expected = a_expected + (1000.0 - b_transferred_when_a_done) / 10.0;
+  EXPECT_NEAR(done_a, a_expected, 1e-6);
+  EXPECT_NEAR(done_b, b_expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, StaggeredAnalytic,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 99.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "offset" + std::to_string(static_cast<int>(info.param));
+                         });
+
+}  // namespace
+}  // namespace chicsim::net

@@ -1,0 +1,157 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace chicsim::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(Engine, RunsEventsInOrderAndAdvancesClock) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(2.0, [&] {
+    order.push_back(2);
+    EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  });
+  engine.schedule_at(1.0, [&] {
+    order.push_back(1);
+    EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_EQ(engine.events_executed(), 2u);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_in(3.0, [&] { EXPECT_DOUBLE_EQ(engine.now(), 8.0); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0);
+}
+
+TEST(Engine, SimultaneousEventsRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventsCanScheduleAtCurrentTime) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { engine.schedule_in(0.0, [&] { ++fired; }); });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine engine;
+  EventId id = engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(4.0, [] {}), util::SimError);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), util::SimError);
+}
+
+TEST(Engine, EmptyCallbackThrows) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_at(1.0, EventFn{}), util::SimError);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] {
+    ++count;
+    engine.stop();
+  });
+  engine.schedule_at(2.0, [&] { ++count; });
+  engine.run();
+  EXPECT_EQ(count, 1);
+  // A later run resumes with what is left.
+  engine.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(5.0, [&] { ++count; });
+  engine.run_until(3.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  engine.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RunUntilIncludesEventsAtHorizon) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(3.0, [&] { fired = true; });
+  engine.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilOnEmptyAdvancesClock) {
+  Engine engine;
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, CascadedEventChains) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 1000) engine.schedule_in(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_DOUBLE_EQ(engine.now(), 999.0);
+}
+
+}  // namespace
+}  // namespace chicsim::sim

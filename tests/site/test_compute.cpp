@@ -1,0 +1,79 @@
+#include "site/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace chicsim::site {
+namespace {
+
+TEST(ComputePool, AcquireReleaseCounts) {
+  ComputePool pool(3, 0.0);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.idle(), 3u);
+  EXPECT_TRUE(pool.acquire(1.0));
+  EXPECT_TRUE(pool.acquire(1.0));
+  EXPECT_EQ(pool.busy(), 2u);
+  EXPECT_EQ(pool.idle(), 1u);
+  pool.release(2.0);
+  EXPECT_EQ(pool.busy(), 1u);
+}
+
+TEST(ComputePool, AcquireFailsWhenFull) {
+  ComputePool pool(1, 0.0);
+  EXPECT_TRUE(pool.acquire(0.0));
+  EXPECT_FALSE(pool.acquire(1.0));
+  pool.release(2.0);
+  EXPECT_TRUE(pool.acquire(2.0));
+}
+
+TEST(ComputePool, ReleaseWithoutAcquireThrows) {
+  ComputePool pool(1, 0.0);
+  EXPECT_THROW(pool.release(1.0), util::SimError);
+}
+
+TEST(ComputePool, ZeroElementsThrows) {
+  EXPECT_THROW(ComputePool(0, 0.0), util::SimError);
+}
+
+TEST(ComputePool, BusyIntegralAccumulates) {
+  ComputePool pool(2, 0.0);
+  (void)pool.acquire(0.0);   // 1 busy from t=0
+  (void)pool.acquire(10.0);  // 2 busy from t=10
+  pool.release(30.0);        // 1 busy from t=30
+  pool.release(50.0);        // 0 busy from t=50
+  pool.settle(60.0);
+  // 1*10 + 2*20 + 1*20 + 0*10 = 70 busy-element-seconds.
+  EXPECT_DOUBLE_EQ(pool.busy_element_seconds(), 70.0);
+}
+
+TEST(ComputePool, UtilizationAndIdleFraction) {
+  ComputePool pool(2, 0.0);
+  (void)pool.acquire(0.0);
+  pool.release(50.0);
+  pool.settle(100.0);
+  // 50 busy-element-seconds of 200 -> 25% utilization, 75% idle.
+  EXPECT_NEAR(pool.utilization(100.0), 0.25, 1e-12);
+  EXPECT_NEAR(pool.idle_fraction(100.0), 0.75, 1e-12);
+}
+
+TEST(ComputePool, UtilizationIncludesOngoingBusyTime) {
+  ComputePool pool(1, 0.0);
+  (void)pool.acquire(0.0);
+  // Without a settle, utilization at t=40 already counts the open interval.
+  EXPECT_NEAR(pool.utilization(40.0), 1.0, 1e-12);
+}
+
+TEST(ComputePool, EmptyIntervalUtilizationIsZero) {
+  ComputePool pool(2, 5.0);
+  EXPECT_DOUBLE_EQ(pool.utilization(5.0), 0.0);
+}
+
+TEST(ComputePool, AccountingBackwardsThrows) {
+  ComputePool pool(1, 0.0);
+  (void)pool.acquire(10.0);
+  EXPECT_THROW(pool.release(5.0), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::site

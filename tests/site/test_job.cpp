@@ -1,0 +1,60 @@
+#include "site/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chicsim::site {
+namespace {
+
+TEST(Job, DefaultsAreUnscheduled) {
+  Job job;
+  EXPECT_EQ(job.id, kNoJob);
+  EXPECT_EQ(job.state, JobState::Created);
+  EXPECT_EQ(job.exec_site, data::kNoSite);
+  EXPECT_LT(job.submit_time, 0.0);
+  EXPECT_TRUE(job.data_ready());  // zero inputs pending
+}
+
+TEST(Job, DataReadyTracksPendingInputs) {
+  Job job;
+  job.inputs_pending = 2;
+  EXPECT_FALSE(job.data_ready());
+  job.inputs_pending = 0;
+  EXPECT_TRUE(job.data_ready());
+}
+
+TEST(Job, ResponseTimeAndQueueWait) {
+  Job job;
+  job.submit_time = 10.0;
+  job.dispatch_time = 10.0;
+  job.start_time = 40.0;
+  job.finish_time = 100.0;
+  EXPECT_DOUBLE_EQ(job.response_time(), 90.0);
+  EXPECT_DOUBLE_EQ(job.queue_wait(), 30.0);
+}
+
+TEST(Job, StateNames) {
+  EXPECT_STREQ(to_string(JobState::Created), "created");
+  EXPECT_STREQ(to_string(JobState::Submitted), "submitted");
+  EXPECT_STREQ(to_string(JobState::Queued), "queued");
+  EXPECT_STREQ(to_string(JobState::Running), "running");
+  EXPECT_STREQ(to_string(JobState::Completed), "completed");
+}
+
+TEST(Job, DescribeMentionsKeyFields) {
+  Job job;
+  job.id = 42;
+  job.user = 7;
+  job.origin_site = 3;
+  job.exec_site = 9;
+  job.inputs = {1, 2};
+  job.runtime_s = 300.0;
+  job.state = JobState::Running;
+  std::string text = job.describe();
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("running"), std::string::npos);
+  EXPECT_NE(text.find("exec=9"), std::string::npos);
+  EXPECT_NE(text.find("{1,2}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chicsim::site

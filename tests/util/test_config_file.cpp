@@ -1,0 +1,96 @@
+#include "util/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+namespace {
+
+TEST(ConfigFile, ParsesKeyValues) {
+  ConfigFile cfg = ConfigFile::parse("num_sites = 30\nbandwidth = 10.5\n");
+  EXPECT_EQ(cfg.get("num_sites").value(), "30");
+  EXPECT_EQ(cfg.get_int("num_sites").value(), 30);
+  EXPECT_DOUBLE_EQ(cfg.get_double("bandwidth").value(), 10.5);
+}
+
+TEST(ConfigFile, KeysAreCaseInsensitive) {
+  ConfigFile cfg = ConfigFile::parse("Num_Sites = 30\n");
+  EXPECT_TRUE(cfg.contains("NUM_SITES"));
+  EXPECT_EQ(cfg.get_int("num_sites").value(), 30);
+}
+
+TEST(ConfigFile, CommentsAndBlankLinesIgnored) {
+  ConfigFile cfg = ConfigFile::parse("# comment\n\na = 1  # trailing\n");
+  EXPECT_EQ(cfg.size(), 1u);
+  EXPECT_EQ(cfg.get_int("a").value(), 1);
+}
+
+TEST(ConfigFile, SectionsPrefixKeys) {
+  ConfigFile cfg = ConfigFile::parse("[grid]\nsites = 30\n[workload]\njobs = 6000\n");
+  EXPECT_EQ(cfg.get_int("grid.sites").value(), 30);
+  EXPECT_EQ(cfg.get_int("workload.jobs").value(), 6000);
+  EXPECT_FALSE(cfg.get("sites").has_value());
+}
+
+TEST(ConfigFile, MissingKeyReturnsNullopt) {
+  ConfigFile cfg = ConfigFile::parse("a = 1\n");
+  EXPECT_FALSE(cfg.get("b").has_value());
+  EXPECT_FALSE(cfg.get_int("b").has_value());
+}
+
+TEST(ConfigFile, DefaultsApply) {
+  ConfigFile cfg = ConfigFile::parse("a = 1\n");
+  EXPECT_EQ(cfg.get_int_or("a", 9), 1);
+  EXPECT_EQ(cfg.get_int_or("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("missing", 2.5), 2.5);
+  EXPECT_EQ(cfg.get_or("missing", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool_or("missing", true));
+}
+
+TEST(ConfigFile, TypeMismatchThrows) {
+  ConfigFile cfg = ConfigFile::parse("a = hello\n");
+  EXPECT_THROW((void)cfg.get_int("a"), SimError);
+  EXPECT_THROW((void)cfg.get_double("a"), SimError);
+  EXPECT_THROW((void)cfg.get_bool("a"), SimError);
+}
+
+TEST(ConfigFile, BoolParsing) {
+  ConfigFile cfg = ConfigFile::parse("x = true\ny = off\n");
+  EXPECT_TRUE(cfg.get_bool("x").value());
+  EXPECT_FALSE(cfg.get_bool("y").value());
+}
+
+TEST(ConfigFile, MalformedLineThrows) {
+  EXPECT_THROW((void)ConfigFile::parse("just-a-token\n"), SimError);
+  EXPECT_THROW((void)ConfigFile::parse("= value\n"), SimError);
+  EXPECT_THROW((void)ConfigFile::parse("[unterminated\n"), SimError);
+}
+
+TEST(ConfigFile, SetOverwrites) {
+  ConfigFile cfg = ConfigFile::parse("a = 1\n");
+  cfg.set("a", "2");
+  cfg.set("b", "3");
+  EXPECT_EQ(cfg.get_int("a").value(), 2);
+  EXPECT_EQ(cfg.get_int("b").value(), 3);
+}
+
+TEST(ConfigFile, LastValueWinsOnDuplicates) {
+  ConfigFile cfg = ConfigFile::parse("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.get_int("a").value(), 2);
+}
+
+TEST(ConfigFile, KeysListsSortedKeys) {
+  ConfigFile cfg = ConfigFile::parse("b = 1\na = 2\n");
+  auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigFile, LoadMissingFileThrows) {
+  EXPECT_THROW((void)ConfigFile::load("/nonexistent/path.cfg"), SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::util

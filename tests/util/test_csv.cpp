@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  w.row({"3", "4"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, RowBeforeHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  EXPECT_THROW(w.row({"1"}), SimError);
+}
+
+TEST(CsvWriter, DoubleHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), SimError);
+}
+
+TEST(CsvWriter, WidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"1"}), SimError);
+}
+
+TEST(CsvWriter, SeparatorInCellThrows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a"});
+  EXPECT_THROW(w.row({"x,y"}), SimError);
+}
+
+TEST(CsvParse, RoundTrip) {
+  CsvTable t = parse_csv_string("name,size\nd0,500\nd1,2000\n");
+  ASSERT_EQ(t.columns.size(), 2u);
+  EXPECT_EQ(t.columns[0], "name");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "2000");
+}
+
+TEST(CsvParse, ColumnIndexLookup) {
+  CsvTable t = parse_csv_string("x,y,z\n1,2,3\n");
+  EXPECT_EQ(t.column_index("y"), 1u);
+  EXPECT_THROW((void)t.column_index("w"), SimError);
+}
+
+TEST(CsvParse, SkipsBlankLines) {
+  CsvTable t = parse_csv_string("a\n\n1\n\n2\n");
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvParse, RaggedRowThrows) {
+  EXPECT_THROW((void)parse_csv_string("a,b\n1\n"), SimError);
+}
+
+TEST(CsvParse, EmptyInputThrows) {
+  EXPECT_THROW((void)parse_csv_string(""), SimError);
+}
+
+TEST(CsvParse, HeaderOnlyIsValid) {
+  CsvTable t = parse_csv_string("a,b\n");
+  EXPECT_TRUE(t.rows.empty());
+}
+
+}  // namespace
+}  // namespace chicsim::util

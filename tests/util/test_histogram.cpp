@@ -1,0 +1,97 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chicsim::util {
+namespace {
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreClampedAndCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, UpperBoundIsExclusive) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, FractionSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) h.add(rng.uniform(0.0, 1.0));
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) total += h.fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, UniformSamplesSpreadEvenly) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(2);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) h.add(rng.uniform(0.0, 1.0));
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    EXPECT_NEAR(h.fraction(b), 0.1, 0.01);
+  }
+}
+
+TEST(Histogram, AsciiChartHasOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(3.5);
+  std::string chart = h.ascii_chart(10);
+  int lines = 0;
+  for (char c : chart) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), SimError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), SimError);
+}
+
+TEST(Histogram, CountOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::util

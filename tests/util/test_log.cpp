@@ -1,0 +1,77 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace chicsim::util {
+namespace {
+
+TEST(Logger, RespectsLevelThreshold) {
+  std::ostringstream out;
+  Logger log(LogLevel::Warn, &out);
+  log.debug("hidden");
+  log.info("hidden");
+  log.warn("visible-warn");
+  log.error("visible-error");
+  std::string text = out.str();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("visible-warn"), std::string::npos);
+  EXPECT_NE(text.find("visible-error"), std::string::npos);
+}
+
+TEST(Logger, OffSilencesEverything) {
+  std::ostringstream out;
+  Logger log(LogLevel::Off, &out);
+  log.error("nothing");
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Logger, ClockPrefixesVirtualTime) {
+  std::ostringstream out;
+  Logger log(LogLevel::Info, &out);
+  log.set_clock([] { return 123.5; });
+  log.info("tick");
+  EXPECT_NE(out.str().find("t=123.50"), std::string::npos);
+}
+
+TEST(Logger, LazyOnlyFormatsWhenEnabled) {
+  std::ostringstream out;
+  Logger log(LogLevel::Warn, &out);
+  bool formatted = false;
+  log.lazy(LogLevel::Debug, [&] {
+    formatted = true;
+    return std::string("expensive");
+  });
+  EXPECT_FALSE(formatted);
+  log.lazy(LogLevel::Error, [&] {
+    formatted = true;
+    return std::string("needed");
+  });
+  EXPECT_TRUE(formatted);
+  EXPECT_NE(out.str().find("needed"), std::string::npos);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::Info), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+}
+
+TEST(Logger, SetLevelTakesEffect) {
+  std::ostringstream out;
+  Logger log(LogLevel::Error, &out);
+  log.set_level(LogLevel::Debug);
+  log.debug("now-visible");
+  EXPECT_NE(out.str().find("now-visible"), std::string::npos);
+}
+
+TEST(Logger, GlobalLoggerIsSingleton) {
+  Logger& a = global_logger();
+  Logger& b = global_logger();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace chicsim::util

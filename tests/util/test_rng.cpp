@@ -1,0 +1,173 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SubstreamsAreReproducible) {
+  Rng a = Rng::substream(7, "workload");
+  Rng b = Rng::substream(7, "workload");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SubstreamsWithDifferentNamesAreIndependent) {
+  Rng a = Rng::substream(7, "workload");
+  Rng b = Rng::substream(7, "placement");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SubstreamsWithAdjacentSeedsAreDecorrelated) {
+  Rng a = Rng::substream(100, "es");
+  Rng b = Rng::substream(101, "es");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(500.0, 2000.0);
+    EXPECT_GE(x, 500.0);
+    EXPECT_LT(x, 2000.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{2, 3, 4, 5}));
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng rng(8);
+  const double p = 0.05;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  // E[X] = (1-p)/p = 19 for p = 0.05.
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.5);
+}
+
+TEST(Rng, GeometricWithPOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, IndexStaysBelowSize) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(30), 30u);
+}
+
+TEST(Rng, IndexOfEmptyRangeThrows) {
+  Rng rng(13);
+  EXPECT_THROW((void)rng.index(0), SimError);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(14);
+  auto p = rng.permutation(200);
+  ASSERT_EQ(p.size(), 200u);
+  std::vector<std::size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationOfZeroIsEmpty) {
+  Rng rng(15);
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Rng, ForkAdvancesParentAndIsDeterministic) {
+  Rng a(17);
+  Rng b(17);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(18);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), SimError);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), SimError);
+  EXPECT_THROW((void)rng.geometric(0.0), SimError);
+  EXPECT_THROW((void)rng.geometric(1.5), SimError);
+  EXPECT_THROW((void)rng.exponential(0.0), SimError);
+  EXPECT_THROW((void)rng.chance(-0.1), SimError);
+}
+
+TEST(Rng, Fnv1aIsStableAndDistinguishes) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+}  // namespace
+}  // namespace chicsim::util

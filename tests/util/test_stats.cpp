@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chicsim::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(1);
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-10.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a;
+  OnlineStats b;
+  b.add(2.0);
+  a.merge(b);  // empty += non-empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  OnlineStats c;
+  a.merge(c);  // non-empty += empty
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Summary, FromSamplesMatchesOnline) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  Summary s = summarize(samples);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 10, 20, 30, 40. q=0.5 -> position 1.5 -> 25.
+  EXPECT_DOUBLE_EQ(percentile({40.0, 10.0, 30.0, 20.0}, 0.5), 25.0);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, SingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.95), 7.0);
+}
+
+TEST(Percentile, EmptyOrBadQThrows) {
+  EXPECT_THROW((void)percentile({}, 0.5), SimError);
+  EXPECT_THROW((void)percentile({1.0}, 1.5), SimError);
+}
+
+TEST(Ci95, ZeroForSmallSamples) {
+  Summary s;
+  s.count = 1;
+  s.stddev = 10.0;
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(s), 0.0);
+}
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  Summary small;
+  small.count = 4;
+  small.stddev = 2.0;
+  Summary big = small;
+  big.count = 400;
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(big));
+  EXPECT_NEAR(ci95_halfwidth(small), 1.96 * 2.0 / 2.0, 1e-12);
+}
+
+TEST(CoefficientOfVariation, Basics) {
+  Summary s;
+  s.mean = 100.0;
+  s.stddev = 5.0;
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(s), 0.05);
+  s.mean = 0.0;
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(s), 0.0);
+}
+
+}  // namespace
+}  // namespace chicsim::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace chicsim::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderRuleAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::string out = t.render();
+  // header, rule, two rows
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericCellsRightAligned) {
+  TablePrinter t({"algo", "ms"});
+  t.add_row({"x", "5"});
+  t.add_row({"yyyy", "12345"});
+  std::string out = t.render();
+  // The numeric column is as wide as "12345"; "5" must be right-aligned,
+  // i.e. preceded by spaces.
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), SimError);
+}
+
+TEST(TablePrinter, EmptyColumnsThrow) {
+  EXPECT_THROW(TablePrinter({}), SimError);
+}
+
+TEST(TablePrinter, NoTrailingSpaces) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"wide-cell", "x"});
+  for (const auto& line : {t.render()}) {
+    std::size_t pos = 0;
+    while ((pos = line.find('\n', pos)) != std::string::npos) {
+      if (pos > 0) {
+        EXPECT_NE(line[pos - 1], ' ');
+      }
+      ++pos;
+    }
+  }
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace chicsim::util

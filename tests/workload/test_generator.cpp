@@ -1,0 +1,199 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace chicsim::workload {
+namespace {
+
+data::DatasetCatalog table1_catalog(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return data::DatasetCatalog::generate_uniform(200, 500.0, 2000.0, rng);
+}
+
+TEST(Workload, Table1ShapeIsRespected) {
+  WorkloadConfig cfg;  // defaults = Table 1
+  auto catalog = table1_catalog();
+  util::Rng rng(42);
+  Workload w(cfg, catalog, rng);
+  EXPECT_EQ(w.num_users(), 120u);
+  EXPECT_EQ(w.total_jobs(), 6000u);
+  for (site::UserId u = 0; u < w.num_users(); ++u) {
+    EXPECT_EQ(w.jobs_of(u).size(), 50u);
+  }
+}
+
+TEST(Workload, UsersMapEvenlyAcrossSites) {
+  WorkloadConfig cfg;
+  auto catalog = table1_catalog();
+  util::Rng rng(42);
+  Workload w(cfg, catalog, rng);
+  std::vector<int> users_per_site(30, 0);
+  for (site::UserId u = 0; u < w.num_users(); ++u) ++users_per_site[w.home_site(u)];
+  for (int count : users_per_site) EXPECT_EQ(count, 4);  // 120 / 30
+}
+
+TEST(Workload, JobIdsAreDenseAndUnique) {
+  WorkloadConfig cfg;
+  cfg.num_users = 10;
+  cfg.jobs_per_user = 5;
+  auto catalog = table1_catalog();
+  util::Rng rng(1);
+  Workload w(cfg, catalog, rng);
+  std::set<site::JobId> ids;
+  for (const site::Job* job : w.all_jobs()) ids.insert(job->id);
+  EXPECT_EQ(ids.size(), 50u);
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), 50u);
+}
+
+TEST(Workload, RuntimeFollowsCmsCalibration) {
+  WorkloadConfig cfg;
+  cfg.num_users = 4;
+  cfg.jobs_per_user = 25;
+  auto catalog = table1_catalog();
+  util::Rng rng(2);
+  Workload w(cfg, catalog, rng);
+  for (const site::Job* job : w.all_jobs()) {
+    ASSERT_EQ(job->inputs.size(), 1u);
+    double expected = 300.0 * catalog.size_mb(job->inputs[0]) / 1000.0;
+    EXPECT_NEAR(job->runtime_s, expected, 1e-9);
+    // Table 1 sizes imply runtimes in [150, 600) seconds.
+    EXPECT_GE(job->runtime_s, 150.0);
+    EXPECT_LT(job->runtime_s, 600.0);
+  }
+}
+
+TEST(Workload, InputsFollowCommunityHotspots) {
+  WorkloadConfig cfg;  // 6000 jobs
+  auto catalog = table1_catalog();
+  util::Rng rng(3);
+  Workload w(cfg, catalog, rng);
+  std::vector<int> requests(200, 0);
+  for (const site::Job* job : w.all_jobs()) ++requests[job->inputs[0]];
+  // Geometric with p=0.05: the busiest dataset should take a clearly
+  // super-uniform share (uniform would be 30 requests per dataset).
+  int hottest = 0;
+  for (int r : requests) hottest = std::max(hottest, r);
+  EXPECT_GT(hottest, 120);
+}
+
+TEST(Workload, MultiInputJobsHaveDistinctInputs) {
+  WorkloadConfig cfg;
+  cfg.num_users = 10;
+  cfg.jobs_per_user = 20;
+  cfg.inputs_per_job = 3;
+  auto catalog = table1_catalog();
+  util::Rng rng(4);
+  Workload w(cfg, catalog, rng);
+  for (const site::Job* job : w.all_jobs()) {
+    EXPECT_EQ(job->inputs.size(), 3u);
+    std::set<data::DatasetId> distinct(job->inputs.begin(), job->inputs.end());
+    EXPECT_EQ(distinct.size(), job->inputs.size());
+    // Runtime covers the sum of input sizes.
+    double mb = 0.0;
+    for (auto d : job->inputs) mb += catalog.size_mb(d);
+    EXPECT_NEAR(job->runtime_s, 300.0 * mb / 1000.0, 1e-9);
+  }
+}
+
+TEST(Workload, SameSeedSameWorkload) {
+  WorkloadConfig cfg;
+  cfg.num_users = 6;
+  cfg.jobs_per_user = 10;
+  auto catalog = table1_catalog();
+  util::Rng r1(5);
+  util::Rng r2(5);
+  Workload a(cfg, catalog, r1);
+  Workload b(cfg, catalog, r2);
+  auto ja = a.all_jobs();
+  auto jb = b.all_jobs();
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i]->inputs, jb[i]->inputs);
+    EXPECT_DOUBLE_EQ(ja[i]->runtime_s, jb[i]->runtime_s);
+  }
+}
+
+TEST(Workload, HomeSiteMatchesRoundRobin) {
+  WorkloadConfig cfg;
+  cfg.num_users = 7;
+  cfg.jobs_per_user = 2;
+  cfg.num_sites = 3;
+  auto catalog = table1_catalog();
+  util::Rng rng(6);
+  Workload w(cfg, catalog, rng);
+  for (site::UserId u = 0; u < 7; ++u) {
+    EXPECT_EQ(w.home_site(u), u % 3);
+  }
+}
+
+TEST(Workload, UserFocusDiversifiesHotSets) {
+  // With full personal focus, two users' most-requested datasets should
+  // usually differ; with community focus they coincide.
+  WorkloadConfig cfg;
+  cfg.num_users = 8;
+  cfg.jobs_per_user = 200;
+  cfg.user_focus = 1.0;
+  auto catalog = table1_catalog();
+  util::Rng rng(9);
+  Workload w(cfg, catalog, rng);
+
+  auto hottest_of = [&](site::UserId u) {
+    std::vector<int> counts(catalog.size(), 0);
+    for (const site::Job& job : w.jobs_of(u)) ++counts[job.inputs[0]];
+    return static_cast<data::DatasetId>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  };
+  std::set<data::DatasetId> hot;
+  for (site::UserId u = 0; u < cfg.num_users; ++u) hot.insert(hottest_of(u));
+  EXPECT_GT(hot.size(), 3u);  // personal hot sets diverge
+
+  cfg.user_focus = 0.0;
+  util::Rng rng2(9);
+  Workload community(cfg, catalog, rng2);
+  std::vector<int> counts(catalog.size(), 0);
+  for (const site::Job* job : community.all_jobs()) ++counts[job->inputs[0]];
+  // One community: the top dataset dominates grid-wide.
+  int top = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(top, static_cast<int>(cfg.num_users * cfg.jobs_per_user / 40));
+}
+
+TEST(Workload, UserFocusValidation) {
+  WorkloadConfig cfg;
+  cfg.user_focus = 1.5;
+  auto catalog = table1_catalog();
+  util::Rng rng(10);
+  EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
+}
+
+TEST(Workload, InvalidConfigsThrow) {
+  auto catalog = table1_catalog();
+  util::Rng rng(7);
+  WorkloadConfig cfg;
+  cfg.num_users = 0;
+  EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
+  cfg = WorkloadConfig{};
+  cfg.inputs_per_job = 0;
+  EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
+  cfg = WorkloadConfig{};
+  cfg.compute_seconds_per_gb = 0.0;
+  EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
+}
+
+TEST(Workload, UnknownUserThrows) {
+  WorkloadConfig cfg;
+  cfg.num_users = 2;
+  cfg.jobs_per_user = 1;
+  auto catalog = table1_catalog();
+  util::Rng rng(8);
+  Workload w(cfg, catalog, rng);
+  EXPECT_THROW((void)w.jobs_of(5), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::workload

@@ -1,0 +1,114 @@
+#include "workload/popularity_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace chicsim::workload {
+namespace {
+
+TEST(DatasetPopularity, SamplesStayInRange) {
+  util::Rng rng(1);
+  DatasetPopularity pop(200, 0.05, rng);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(pop.sample(rng), 200u);
+    EXPECT_LT(pop.sample_rank(rng), 200u);
+  }
+}
+
+TEST(DatasetPopularity, RankZeroIsMostFrequent) {
+  util::Rng rng(2);
+  DatasetPopularity pop(200, 0.05, rng);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[pop.sample_rank(rng)];
+  int max_count = 0;
+  std::size_t max_rank = 999;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0u);
+}
+
+TEST(DatasetPopularity, GeometricShapeMatchesTheory) {
+  util::Rng rng(3);
+  const double p = 0.05;
+  DatasetPopularity pop(200, p, rng);
+  const int n = 100000;
+  int top20 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (pop.sample_rank(rng) < 20) ++top20;
+  }
+  // Expected fraction in the first 20 ranks: 1 - (1-p)^20 ≈ 0.6415.
+  EXPECT_NEAR(static_cast<double>(top20) / n, pop.expected_top_k_fraction(20), 0.01);
+}
+
+TEST(DatasetPopularity, ExpectedTopKFractionBounds) {
+  util::Rng rng(4);
+  DatasetPopularity pop(100, 0.05, rng);
+  EXPECT_DOUBLE_EQ(pop.expected_top_k_fraction(100), 1.0);
+  EXPECT_DOUBLE_EQ(pop.expected_top_k_fraction(200), 1.0);
+  EXPECT_GT(pop.expected_top_k_fraction(10), 0.0);
+  EXPECT_LT(pop.expected_top_k_fraction(10), 1.0);
+}
+
+TEST(DatasetPopularity, PermutationMapsAllRanks) {
+  util::Rng rng(5);
+  DatasetPopularity pop(50, 0.1, rng);
+  std::vector<bool> seen(50, false);
+  for (std::size_t r = 0; r < 50; ++r) {
+    data::DatasetId d = pop.dataset_at_rank(r);
+    ASSERT_LT(d, 50u);
+    EXPECT_FALSE(seen[d]);
+    seen[d] = true;
+  }
+}
+
+TEST(DatasetPopularity, PermutationDependsOnSeed) {
+  util::Rng r1(6);
+  util::Rng r2(7);
+  DatasetPopularity a(100, 0.05, r1);
+  DatasetPopularity b(100, 0.05, r2);
+  int differing = 0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    if (a.dataset_at_rank(r) != b.dataset_at_rank(r)) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(DatasetPopularity, SameSeedSameDistribution) {
+  util::Rng r1(8);
+  util::Rng r2(8);
+  DatasetPopularity a(100, 0.05, r1);
+  DatasetPopularity b(100, 0.05, r2);
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.dataset_at_rank(r), b.dataset_at_rank(r));
+  }
+}
+
+TEST(DatasetPopularity, TruncationFallsBackToLastRank) {
+  util::Rng rng(9);
+  // Tiny dataset count with small p forces frequent out-of-range draws.
+  DatasetPopularity pop(2, 0.01, rng);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(pop.sample_rank(rng), 2u);
+}
+
+TEST(DatasetPopularity, InvalidParamsThrow) {
+  util::Rng rng(10);
+  EXPECT_THROW(DatasetPopularity(0, 0.05, rng), util::SimError);
+  EXPECT_THROW(DatasetPopularity(10, 0.0, rng), util::SimError);
+  EXPECT_THROW(DatasetPopularity(10, 1.0, rng), util::SimError);
+}
+
+TEST(DatasetPopularity, RankOutOfRangeThrows) {
+  util::Rng rng(11);
+  DatasetPopularity pop(10, 0.1, rng);
+  EXPECT_THROW((void)pop.dataset_at_rank(10), util::SimError);
+}
+
+}  // namespace
+}  // namespace chicsim::workload
