@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heterogeneity.dir/bench_ablation_heterogeneity.cpp.o"
+  "CMakeFiles/bench_ablation_heterogeneity.dir/bench_ablation_heterogeneity.cpp.o.d"
+  "bench_ablation_heterogeneity"
+  "bench_ablation_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_output.dir/bench_ablation_output.cpp.o"
+  "CMakeFiles/bench_ablation_output.dir/bench_ablation_output.cpp.o.d"
+  "bench_ablation_output"
+  "bench_ablation_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

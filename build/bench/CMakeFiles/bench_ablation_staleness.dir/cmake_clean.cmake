@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_staleness.dir/bench_ablation_staleness.cpp.o"
+  "CMakeFiles/bench_ablation_staleness.dir/bench_ablation_staleness.cpp.o.d"
+  "bench_ablation_staleness"
+  "bench_ablation_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

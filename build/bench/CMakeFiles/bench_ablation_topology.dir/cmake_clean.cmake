@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_topology.dir/bench_ablation_topology.cpp.o"
+  "CMakeFiles/bench_ablation_topology.dir/bench_ablation_topology.cpp.o.d"
+  "bench_ablation_topology"
+  "bench_ablation_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_central.dir/bench_ext_central.cpp.o"
+  "CMakeFiles/bench_ext_central.dir/bench_ext_central.cpp.o.d"
+  "bench_ext_central"
+  "bench_ext_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

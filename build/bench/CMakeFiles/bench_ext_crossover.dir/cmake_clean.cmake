@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_crossover.dir/bench_ext_crossover.cpp.o"
+  "CMakeFiles/bench_ext_crossover.dir/bench_ext_crossover.cpp.o.d"
+  "bench_ext_crossover"
+  "bench_ext_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

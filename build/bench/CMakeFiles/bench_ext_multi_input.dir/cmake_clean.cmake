@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_input.dir/bench_ext_multi_input.cpp.o"
+  "CMakeFiles/bench_ext_multi_input.dir/bench_ext_multi_input.cpp.o.d"
+  "bench_ext_multi_input"
+  "bench_ext_multi_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_openloop.dir/bench_ext_openloop.cpp.o"
+  "CMakeFiles/bench_ext_openloop.dir/bench_ext_openloop.cpp.o.d"
+  "bench_ext_openloop"
+  "bench_ext_openloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

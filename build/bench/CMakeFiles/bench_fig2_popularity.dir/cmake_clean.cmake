@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_popularity.dir/bench_fig2_popularity.cpp.o"
+  "CMakeFiles/bench_fig2_popularity.dir/bench_fig2_popularity.cpp.o.d"
+  "bench_fig2_popularity"
+  "bench_fig2_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

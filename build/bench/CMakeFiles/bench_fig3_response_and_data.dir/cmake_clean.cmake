@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_response_and_data.dir/bench_fig3_response_and_data.cpp.o"
+  "CMakeFiles/bench_fig3_response_and_data.dir/bench_fig3_response_and_data.cpp.o.d"
+  "bench_fig3_response_and_data"
+  "bench_fig3_response_and_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_response_and_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_engine.cpp" "bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chicsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chicsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/chicsim_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chicsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/chicsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

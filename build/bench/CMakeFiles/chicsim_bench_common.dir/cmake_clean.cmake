@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libchicsim_bench_common.a"
+  "../lib/libchicsim_bench_common.pdb"
+  "CMakeFiles/chicsim_bench_common.dir/common.cpp.o"
+  "CMakeFiles/chicsim_bench_common.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libchicsim_bench_common.a"
+)

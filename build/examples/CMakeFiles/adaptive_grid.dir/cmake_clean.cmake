@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_grid.dir/adaptive_grid.cpp.o"
+  "CMakeFiles/adaptive_grid.dir/adaptive_grid.cpp.o.d"
+  "adaptive_grid"
+  "adaptive_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence.dir/convergence.cpp.o"
+  "CMakeFiles/convergence.dir/convergence.cpp.o.d"
+  "convergence"
+  "convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_analysis.dir/hep_analysis.cpp.o"
+  "CMakeFiles/hep_analysis.dir/hep_analysis.cpp.o.d"
+  "hep_analysis"
+  "hep_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

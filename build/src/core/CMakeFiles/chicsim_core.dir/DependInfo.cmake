@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/chicsim_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/chicsim_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/ds_policies.cpp" "src/core/CMakeFiles/chicsim_core.dir/ds_policies.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/ds_policies.cpp.o.d"
+  "/root/repo/src/core/es_policies.cpp" "src/core/CMakeFiles/chicsim_core.dir/es_policies.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/es_policies.cpp.o.d"
+  "/root/repo/src/core/events.cpp" "src/core/CMakeFiles/chicsim_core.dir/events.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/events.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/chicsim_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/chicsim_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/core/CMakeFiles/chicsim_core.dir/grid.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/grid.cpp.o.d"
+  "/root/repo/src/core/ls_policies.cpp" "src/core/CMakeFiles/chicsim_core.dir/ls_policies.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/ls_policies.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/chicsim_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/chicsim_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/chicsim_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/chicsim_core.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/chicsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/chicsim_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chicsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/chicsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_core.dir/algorithms.cpp.o"
+  "CMakeFiles/chicsim_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/config.cpp.o"
+  "CMakeFiles/chicsim_core.dir/config.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/ds_policies.cpp.o"
+  "CMakeFiles/chicsim_core.dir/ds_policies.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/es_policies.cpp.o"
+  "CMakeFiles/chicsim_core.dir/es_policies.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/events.cpp.o"
+  "CMakeFiles/chicsim_core.dir/events.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/experiment.cpp.o"
+  "CMakeFiles/chicsim_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/factory.cpp.o"
+  "CMakeFiles/chicsim_core.dir/factory.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/grid.cpp.o"
+  "CMakeFiles/chicsim_core.dir/grid.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/ls_policies.cpp.o"
+  "CMakeFiles/chicsim_core.dir/ls_policies.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/metrics.cpp.o"
+  "CMakeFiles/chicsim_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/report.cpp.o"
+  "CMakeFiles/chicsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/chicsim_core.dir/timeline.cpp.o"
+  "CMakeFiles/chicsim_core.dir/timeline.cpp.o.d"
+  "libchicsim_core.a"
+  "libchicsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

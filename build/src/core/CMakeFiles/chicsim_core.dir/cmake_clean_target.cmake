@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchicsim_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cpp" "src/data/CMakeFiles/chicsim_data.dir/catalog.cpp.o" "gcc" "src/data/CMakeFiles/chicsim_data.dir/catalog.cpp.o.d"
+  "/root/repo/src/data/popularity.cpp" "src/data/CMakeFiles/chicsim_data.dir/popularity.cpp.o" "gcc" "src/data/CMakeFiles/chicsim_data.dir/popularity.cpp.o.d"
+  "/root/repo/src/data/replica_catalog.cpp" "src/data/CMakeFiles/chicsim_data.dir/replica_catalog.cpp.o" "gcc" "src/data/CMakeFiles/chicsim_data.dir/replica_catalog.cpp.o.d"
+  "/root/repo/src/data/storage.cpp" "src/data/CMakeFiles/chicsim_data.dir/storage.cpp.o" "gcc" "src/data/CMakeFiles/chicsim_data.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

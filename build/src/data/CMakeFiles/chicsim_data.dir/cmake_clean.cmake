@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_data.dir/catalog.cpp.o"
+  "CMakeFiles/chicsim_data.dir/catalog.cpp.o.d"
+  "CMakeFiles/chicsim_data.dir/popularity.cpp.o"
+  "CMakeFiles/chicsim_data.dir/popularity.cpp.o.d"
+  "CMakeFiles/chicsim_data.dir/replica_catalog.cpp.o"
+  "CMakeFiles/chicsim_data.dir/replica_catalog.cpp.o.d"
+  "CMakeFiles/chicsim_data.dir/storage.cpp.o"
+  "CMakeFiles/chicsim_data.dir/storage.cpp.o.d"
+  "libchicsim_data.a"
+  "libchicsim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_net.dir/routing.cpp.o"
+  "CMakeFiles/chicsim_net.dir/routing.cpp.o.d"
+  "CMakeFiles/chicsim_net.dir/topology.cpp.o"
+  "CMakeFiles/chicsim_net.dir/topology.cpp.o.d"
+  "CMakeFiles/chicsim_net.dir/transfer_manager.cpp.o"
+  "CMakeFiles/chicsim_net.dir/transfer_manager.cpp.o.d"
+  "libchicsim_net.a"
+  "libchicsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

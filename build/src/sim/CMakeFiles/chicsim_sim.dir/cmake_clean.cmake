@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/chicsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/chicsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/chicsim_sim.dir/event_queue.cpp.o.d"
+  "libchicsim_sim.a"
+  "libchicsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/site/compute.cpp" "src/site/CMakeFiles/chicsim_site.dir/compute.cpp.o" "gcc" "src/site/CMakeFiles/chicsim_site.dir/compute.cpp.o.d"
+  "/root/repo/src/site/job.cpp" "src/site/CMakeFiles/chicsim_site.dir/job.cpp.o" "gcc" "src/site/CMakeFiles/chicsim_site.dir/job.cpp.o.d"
+  "/root/repo/src/site/site.cpp" "src/site/CMakeFiles/chicsim_site.dir/site.cpp.o" "gcc" "src/site/CMakeFiles/chicsim_site.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/chicsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

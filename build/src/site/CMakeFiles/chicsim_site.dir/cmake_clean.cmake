@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_site.dir/compute.cpp.o"
+  "CMakeFiles/chicsim_site.dir/compute.cpp.o.d"
+  "CMakeFiles/chicsim_site.dir/job.cpp.o"
+  "CMakeFiles/chicsim_site.dir/job.cpp.o.d"
+  "CMakeFiles/chicsim_site.dir/site.cpp.o"
+  "CMakeFiles/chicsim_site.dir/site.cpp.o.d"
+  "libchicsim_site.a"
+  "libchicsim_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_util.dir/cli.cpp.o"
+  "CMakeFiles/chicsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/config_file.cpp.o"
+  "CMakeFiles/chicsim_util.dir/config_file.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/csv.cpp.o"
+  "CMakeFiles/chicsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/histogram.cpp.o"
+  "CMakeFiles/chicsim_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/log.cpp.o"
+  "CMakeFiles/chicsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/rng.cpp.o"
+  "CMakeFiles/chicsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/stats.cpp.o"
+  "CMakeFiles/chicsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/string_util.cpp.o"
+  "CMakeFiles/chicsim_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/svg_chart.cpp.o"
+  "CMakeFiles/chicsim_util.dir/svg_chart.cpp.o.d"
+  "CMakeFiles/chicsim_util.dir/table.cpp.o"
+  "CMakeFiles/chicsim_util.dir/table.cpp.o.d"
+  "libchicsim_util.a"
+  "libchicsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

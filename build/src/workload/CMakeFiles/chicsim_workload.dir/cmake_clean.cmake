@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chicsim_workload.dir/generator.cpp.o"
+  "CMakeFiles/chicsim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/chicsim_workload.dir/popularity_dist.cpp.o"
+  "CMakeFiles/chicsim_workload.dir/popularity_dist.cpp.o.d"
+  "CMakeFiles/chicsim_workload.dir/trace.cpp.o"
+  "CMakeFiles/chicsim_workload.dir/trace.cpp.o.d"
+  "libchicsim_workload.a"
+  "libchicsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chicsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_algorithms.cpp" "tests/CMakeFiles/test_core.dir/core/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_algorithms.cpp.o.d"
+  "/root/repo/tests/core/test_central.cpp" "tests/CMakeFiles/test_core.dir/core/test_central.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_central.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_ds_policies.cpp" "tests/CMakeFiles/test_core.dir/core/test_ds_policies.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ds_policies.cpp.o.d"
+  "/root/repo/tests/core/test_edge_configs.cpp" "tests/CMakeFiles/test_core.dir/core/test_edge_configs.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_edge_configs.cpp.o.d"
+  "/root/repo/tests/core/test_es_policies.cpp" "tests/CMakeFiles/test_core.dir/core/test_es_policies.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_es_policies.cpp.o.d"
+  "/root/repo/tests/core/test_events.cpp" "tests/CMakeFiles/test_core.dir/core/test_events.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_events.cpp.o.d"
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_factory.cpp" "tests/CMakeFiles/test_core.dir/core/test_factory.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_factory.cpp.o.d"
+  "/root/repo/tests/core/test_fault_injection.cpp" "tests/CMakeFiles/test_core.dir/core/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/core/test_grid.cpp" "tests/CMakeFiles/test_core.dir/core/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_grid.cpp.o.d"
+  "/root/repo/tests/core/test_heterogeneity.cpp" "tests/CMakeFiles/test_core.dir/core/test_heterogeneity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_heterogeneity.cpp.o.d"
+  "/root/repo/tests/core/test_info_service.cpp" "tests/CMakeFiles/test_core.dir/core/test_info_service.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_info_service.cpp.o.d"
+  "/root/repo/tests/core/test_invariants.cpp" "tests/CMakeFiles/test_core.dir/core/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_invariants.cpp.o.d"
+  "/root/repo/tests/core/test_ls_policies.cpp" "tests/CMakeFiles/test_core.dir/core/test_ls_policies.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ls_policies.cpp.o.d"
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_openloop.cpp" "tests/CMakeFiles/test_core.dir/core/test_openloop.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_openloop.cpp.o.d"
+  "/root/repo/tests/core/test_output_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_output_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_output_model.cpp.o.d"
+  "/root/repo/tests/core/test_paper_reproduction.cpp" "tests/CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o.d"
+  "/root/repo/tests/core/test_policy_matrix.cpp" "tests/CMakeFiles/test_core.dir/core/test_policy_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policy_matrix.cpp.o.d"
+  "/root/repo/tests/core/test_queueing_theory.cpp" "tests/CMakeFiles/test_core.dir/core/test_queueing_theory.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_queueing_theory.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_timeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_timeline.cpp.o.d"
+  "/root/repo/tests/core/test_umbrella.cpp" "tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chicsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chicsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/chicsim_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chicsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/chicsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_catalog.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_catalog.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_popularity.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_popularity.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_replica_catalog.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_replica_catalog.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_storage.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_storage.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_storage_model.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_storage_model.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_routing.cpp" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "/root/repo/tests/net/test_routing_property.cpp" "tests/CMakeFiles/test_net.dir/net/test_routing_property.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_routing_property.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  "/root/repo/tests/net/test_transfer_analytic.cpp" "tests/CMakeFiles/test_net.dir/net/test_transfer_analytic.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_transfer_analytic.cpp.o.d"
+  "/root/repo/tests/net/test_transfer_manager.cpp" "tests/CMakeFiles/test_net.dir/net/test_transfer_manager.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_transfer_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chicsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chicsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/chicsim_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chicsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/chicsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_routing_property.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_routing_property.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_transfer_analytic.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_transfer_analytic.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_transfer_manager.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_transfer_manager.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

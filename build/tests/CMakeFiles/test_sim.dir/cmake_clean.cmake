@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine_property.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine_property.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_timer.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_timer.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

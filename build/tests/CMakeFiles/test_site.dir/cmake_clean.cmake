@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_site.dir/site/test_compute.cpp.o"
+  "CMakeFiles/test_site.dir/site/test_compute.cpp.o.d"
+  "CMakeFiles/test_site.dir/site/test_job.cpp.o"
+  "CMakeFiles/test_site.dir/site/test_job.cpp.o.d"
+  "CMakeFiles/test_site.dir/site/test_site.cpp.o"
+  "CMakeFiles/test_site.dir/site/test_site.cpp.o.d"
+  "test_site"
+  "test_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_config_file.cpp" "tests/CMakeFiles/test_util.dir/util/test_config_file.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_config_file.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_histogram.cpp" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/test_util.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_string_util.cpp" "tests/CMakeFiles/test_util.dir/util/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_string_util.cpp.o.d"
+  "/root/repo/tests/util/test_svg_chart.cpp" "tests/CMakeFiles/test_util.dir/util/test_svg_chart.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_svg_chart.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/CMakeFiles/test_util.dir/util/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chicsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chicsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/chicsim_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chicsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/chicsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chicsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

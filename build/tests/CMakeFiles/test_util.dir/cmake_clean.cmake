@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_cli.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_config_file.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_config_file.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_histogram.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_histogram.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_string_util.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_string_util.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_svg_chart.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_svg_chart.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_units.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_units.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_generator.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_generator.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_popularity_dist.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_popularity_dist.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
