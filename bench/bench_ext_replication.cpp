@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   core::ExperimentRunner runner(cfg, bench::seeds_from_cli(cli));
 
   std::vector<EsAlgorithm> es_list{EsAlgorithm::JobDataPresent, EsAlgorithm::JobLocal};
-  auto cells = runner.run_matrix(es_list, core::all_ds_algorithms());
+  auto cells = bench::run_matrix_from_cli(cli, runner, es_list, core::all_ds_algorithms());
 
   std::printf("=== Extension: replication strategy family (%zu jobs, %zu seeds) ===\n\n",
               cfg.total_jobs, runner.seeds().size());

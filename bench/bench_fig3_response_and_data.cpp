@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
 
   core::SimulationConfig cfg = bench::config_from_cli(cli);
   core::ExperimentRunner runner(cfg, bench::seeds_from_cli(cli));
-  auto cells = runner.run_matrix(core::paper_es_algorithms(), core::paper_ds_algorithms());
+  auto cells = bench::run_matrix_from_cli(cli, runner, core::paper_es_algorithms(),
+                                          core::paper_ds_algorithms());
 
   std::printf("=== Figure 3 (bandwidth %.0f MB/s, %zu jobs, %zu seeds) ===\n\n",
               cfg.link_bandwidth_mbps, cfg.total_jobs, runner.seeds().size());

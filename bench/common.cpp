@@ -15,6 +15,8 @@ void add_standard_options(util::CliParser& cli) {
   cli.add_option("jobs", "6000", "total jobs (Table 1: 6000; lower for quick runs)");
   cli.add_option("seeds", "101,202,303", "comma-separated seed list (paper: 3 seeds)");
   cli.add_option("staleness", "120", "load information staleness in seconds");
+  cli.add_option("threads", "1",
+                 "worker threads for the run matrix (1 = serial, 0 = all hardware threads)");
   cli.add_option("csv", "", "write raw cell metrics to this CSV file");
   cli.add_option("svg-prefix", "", "write the figure(s) as <prefix><name>.svg");
 }
@@ -76,6 +78,17 @@ std::vector<std::uint64_t> seeds_from_cli(const util::CliParser& cli) {
   }
   if (seeds.empty()) throw util::SimError("--seeds must list at least one seed");
   return seeds;
+}
+
+std::vector<core::CellResult> run_matrix_from_cli(
+    const util::CliParser& cli, const core::ExperimentRunner& runner,
+    const std::vector<core::EsAlgorithm>& es_algorithms,
+    const std::vector<core::DsAlgorithm>& ds_algorithms) {
+  long threads = cli.get_int("threads");
+  if (threads < 0) throw util::SimError("--threads must be >= 0");
+  if (threads == 1) return runner.run_matrix(es_algorithms, ds_algorithms);
+  return runner.run_matrix_parallel(es_algorithms, ds_algorithms,
+                                    static_cast<unsigned>(threads));
 }
 
 std::string render_matrix(const std::vector<core::CellResult>& cells,

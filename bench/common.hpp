@@ -27,6 +27,14 @@ void add_standard_options(util::CliParser& cli);
 /// Seed list from the --seeds=a,b,c option.
 [[nodiscard]] std::vector<std::uint64_t> seeds_from_cli(const util::CliParser& cli);
 
+/// Run the (es, ds) matrix honouring --threads: 1 runs serially (the
+/// default), 0 uses all hardware threads, N uses N workers. Results are
+/// bit-identical across thread counts (see ExperimentRunner).
+[[nodiscard]] std::vector<core::CellResult> run_matrix_from_cli(
+    const util::CliParser& cli, const core::ExperimentRunner& runner,
+    const std::vector<core::EsAlgorithm>& es_algorithms,
+    const std::vector<core::DsAlgorithm>& ds_algorithms);
+
 /// Render one metric of a run matrix as the paper's figure layout: one row
 /// per ES algorithm, one column per DS algorithm.
 [[nodiscard]] std::string render_matrix(

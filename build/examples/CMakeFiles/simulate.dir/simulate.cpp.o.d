@@ -273,7 +273,10 @@ examples/CMakeFiles/simulate.dir/simulate.cpp.o: \
  /root/repo/src/core/../workload/generator.hpp \
  /root/repo/src/core/../workload/popularity_dist.hpp \
  /root/repo/src/core/../core/report.hpp \
- /root/repo/src/core/../core/experiment.hpp \
+ /root/repo/src/core/../core/experiment.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/../core/timeline.hpp \
  /root/repo/src/core/../util/cli.hpp \
  /root/repo/src/core/../util/string_util.hpp

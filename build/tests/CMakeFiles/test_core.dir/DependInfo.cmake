@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_ab_equivalence.cpp" "tests/CMakeFiles/test_core.dir/core/test_ab_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ab_equivalence.cpp.o.d"
   "/root/repo/tests/core/test_algorithms.cpp" "tests/CMakeFiles/test_core.dir/core/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_algorithms.cpp.o.d"
   "/root/repo/tests/core/test_central.cpp" "tests/CMakeFiles/test_core.dir/core/test_central.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_central.cpp.o.d"
   "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"

@@ -294,7 +294,9 @@ tests/CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/../core/experiment.hpp \
+ /root/repo/src/core/../core/experiment.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/../core/config.hpp \
  /root/repo/src/core/../core/algorithms.hpp \
  /root/repo/src/core/../net/transfer_manager.hpp \

@@ -277,7 +277,10 @@ tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o: \
  /root/repo/src/core/../core/scheduler.hpp \
  /root/repo/src/core/../core/es_policies.hpp \
  /root/repo/src/core/../core/events.hpp \
- /root/repo/src/core/../core/experiment.hpp \
+ /root/repo/src/core/../core/experiment.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/../core/metrics.hpp \
  /root/repo/src/core/../core/factory.hpp \
  /root/repo/src/core/../core/grid.hpp \
@@ -305,7 +308,7 @@ tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -314,7 +317,6 @@ tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

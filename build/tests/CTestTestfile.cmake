@@ -5,16 +5,16 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(test_util "/root/repo/build/tests/test_util")
-set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_sim "/root/repo/build/tests/test_sim")
-set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;21;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;26;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_net "/root/repo/build/tests/test_net")
-set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;28;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;33;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_data "/root/repo/build/tests/test_data")
-set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;36;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;41;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_site "/root/repo/build/tests/test_site")
-set_tests_properties(test_site PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;44;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_site PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;49;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_workload "/root/repo/build/tests/test_workload")
-set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;50;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;55;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_core "/root/repo/build/tests/test_core")
-set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;56;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;61;chicsim_test;/root/repo/tests/CMakeLists.txt;0;")

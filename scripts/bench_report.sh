@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Engine performance report: build (if needed), run the transfer-churn A/B
+# microbenchmark (legacy RescheduleAll vs Full vs Incremental reallocation),
+# and write the machine-readable summary to BENCH_engine.json.
+#
+#   scripts/bench_report.sh [output.json]
+#
+# The default output path is BENCH_engine.json at the repo root. The report
+# contains, per mode: wall time, events/sec, flows/sec, calendar push/cancel
+# counts, tombstone ratio, peak heap size, and compaction count — plus the
+# headline events/sec speedup of Incremental over the legacy baseline.
+# Exits non-zero if the speedup regresses below the 2x target.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_engine.json}"
+
+if [ ! -x "$repo/build/bench/bench_micro_engine" ]; then
+  echo "== configure + build"
+  cmake -B "$repo/build" -S "$repo" >/dev/null
+  cmake --build "$repo/build" --target bench_micro_engine >/dev/null
+fi
+
+echo "== engine A/B microbenchmark"
+"$repo/build/bench/bench_micro_engine" --engine-json="$out"

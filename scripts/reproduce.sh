@@ -2,18 +2,29 @@
 # Full reproduction pipeline: build, test, regenerate every table/figure
 # (console tables + shape checks, CSVs and SVGs), and archive the outputs.
 #
-#   scripts/reproduce.sh [output-dir]
+#   scripts/reproduce.sh [--threads N] [output-dir]
 #
+# --threads N runs each experiment matrix with N worker threads (0 = all
+# hardware threads); results are bit-identical to the serial run.
 # Exits non-zero if any test or any paper shape-check fails.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/reproduction-output}"
+threads=1
+out=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threads) threads="$2"; shift 2 ;;
+    --threads=*) threads="${1#--threads=}"; shift ;;
+    *) out="$1"; shift ;;
+  esac
+done
+out="${out:-$repo/reproduction-output}"
 mkdir -p "$out"
 
 echo "== configure + build"
-cmake -B "$repo/build" -G Ninja -S "$repo" >/dev/null
-cmake --build "$repo/build" >/dev/null
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j >/dev/null
 
 echo "== tests"
 ctest --test-dir "$repo/build" --output-on-failure 2>&1 | tee "$out/test_output.txt" | tail -3
@@ -24,7 +35,7 @@ for bench in "$repo"/build/bench/bench_*; do
   name="$(basename "$bench")"
   [ "$name" = bench_micro_engine ] && continue
   echo "-- $name"
-  args=()
+  args=("--threads=$threads")
   case "$name" in
     bench_fig3_response_and_data|bench_fig4_idle_time|bench_fig5_bandwidth)
       args+=("--csv=$out/$name.csv" "--svg-prefix=$out/") ;;
@@ -38,7 +49,7 @@ for bench in "$repo"/build/bench/bench_*; do
 done
 
 echo "== microbenchmarks"
-"$repo/build/bench/bench_micro_engine" --benchmark_min_time=0.05s \
+"$repo/build/bench/bench_micro_engine" --benchmark_min_time=0.05 \
   > "$out/bench_micro_engine.txt" 2>&1 || true
 
 echo "== done: outputs in $out"

@@ -104,6 +104,18 @@ void SimulationConfig::apply(const util::ConfigFile& file) {
       throw util::SimError("config: unknown share_policy: " + *v);
     }
   }
+  if (auto v = file.get("realloc_mode")) {
+    std::string p = util::to_lower(*v);
+    if (p == "rescheduleall") {
+      realloc_mode = net::ReallocationMode::RescheduleAll;
+    } else if (p == "full") {
+      realloc_mode = net::ReallocationMode::Full;
+    } else if (p == "incremental") {
+      realloc_mode = net::ReallocationMode::Incremental;
+    } else {
+      throw util::SimError("config: unknown realloc_mode: " + *v);
+    }
+  }
   if (auto v = file.get_int("seed")) seed = static_cast<std::uint64_t>(*v);
 }
 
@@ -152,6 +164,10 @@ std::string SimulationConfig::describe() const {
   line("share_policy", share_policy == net::SharePolicy::EqualShare   ? "EqualShare"
                        : share_policy == net::SharePolicy::MaxMin     ? "MaxMin"
                                                                       : "NoContention");
+  line("realloc_mode",
+       realloc_mode == net::ReallocationMode::RescheduleAll ? "RescheduleAll"
+       : realloc_mode == net::ReallocationMode::Full        ? "Full"
+                                                            : "Incremental");
   line("seed", std::to_string(seed));
   out += "}";
   return out;

@@ -21,14 +21,18 @@ void DataDoNothingDs::evaluate(ReplicationContext& ctx, util::Rng& rng) {
 
 void DataRandomDs::evaluate(ReplicationContext& ctx, util::Rng& rng) {
   const GridView& view = ctx.view();
+  if (view.num_sites() < 2) return;  // nowhere to replicate to
   for (data::DatasetId hot : ctx.popular_datasets(threshold_)) {
-    // Pick a random site that does not already hold the dataset. Retry a
-    // few draws; with most of the grid dataset-free this converges fast,
-    // and a fully saturated dataset simply is not replicated again.
+    // Pick a random site that does not already hold the dataset. Draw from
+    // the site set excluding self so attempts are never wasted on the local
+    // site (on a 2-site grid half of all draws used to self-collide and a
+    // hot dataset could go un-replicated). Retry a few draws; with most of
+    // the grid dataset-free this converges fast, and a fully saturated
+    // dataset simply is not replicated again.
     data::SiteIndex dest = data::kNoSite;
     for (int attempt = 0; attempt < 16; ++attempt) {
-      auto candidate = static_cast<data::SiteIndex>(rng.index(view.num_sites()));
-      if (candidate == ctx.self()) continue;
+      auto candidate = static_cast<data::SiteIndex>(rng.index(view.num_sites() - 1));
+      if (candidate >= ctx.self()) ++candidate;  // skip over self
       if (view.site_has_dataset(candidate, hot)) continue;
       dest = candidate;
       break;

@@ -115,33 +115,49 @@ data::SiteIndex JobAdaptiveEs::select_site(const site::Job& job, const GridView&
   JobLeastLoadedEs least_loaded;
   candidates.push_back(least_loaded.select_site(job, view, rng));
 
-  data::SiteIndex best = candidates.front();
+  // The three strategies may nominate the same site (e.g. the data already
+  // lives at the origin); dedupe so a duplicate nomination does not get a
+  // double weight in the random tie-break below.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
   double best_est = std::numeric_limits<double>::infinity();
+  std::vector<data::SiteIndex> ties;
   for (auto c : candidates) {
     double est = estimate_completion_s(job, c, view);
     if (est < best_est - util::kEpsilon) {
       best_est = est;
-      best = c;
+      ties.clear();
+      ties.push_back(c);
+    } else if (est <= best_est + util::kEpsilon) {
+      ties.push_back(c);
     }
   }
-  return best;
+  CHICSIM_ASSERT(!ties.empty());
+  return ties[rng.index(ties.size())];
 }
 
 data::SiteIndex JobBestEstimateEs::select_site(const site::Job& job, const GridView& view,
                                                util::Rng& rng) {
-  (void)rng;
   CHICSIM_ASSERT_MSG(!job.inputs.empty(), "job without inputs");
-  data::SiteIndex best = 0;
+  // Collect the epsilon tie-set and break it through the rng (same shape as
+  // least_loaded_of): the previous first-wins scan silently funnelled every
+  // tie to the lowest site index, skewing load toward site 0.
   double best_est = std::numeric_limits<double>::infinity();
+  std::vector<data::SiteIndex> ties;
   for (std::size_t s = 0; s < view.num_sites(); ++s) {
     auto candidate = static_cast<data::SiteIndex>(s);
     double est = JobAdaptiveEs::estimate_completion_s(job, candidate, view);
     if (est < best_est - util::kEpsilon) {
       best_est = est;
-      best = candidate;
+      ties.clear();
+      ties.push_back(candidate);
+    } else if (est <= best_est + util::kEpsilon) {
+      ties.push_back(candidate);
     }
   }
-  return best;
+  CHICSIM_ASSERT(!ties.empty());
+  return ties[rng.index(ties.size())];
 }
 
 }  // namespace chicsim::core

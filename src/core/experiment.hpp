@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "core/config.hpp"
@@ -55,6 +56,15 @@ class ExperimentRunner {
 
   void set_progress(std::function<void(const std::string&)> progress);
 
+  /// Number of worker threads run_cell spreads its seeds over (work
+  /// stealing on a shared index). 1 = serial (the default); 0 = hardware
+  /// concurrency. Serial and parallel runs produce bit-identical
+  /// CellResults: each Grid derives every RNG stream from its own
+  /// config.seed, per-seed metrics land in per-seed slots, and the fold
+  /// walks the slots in seed order regardless of completion order.
+  void set_cell_threads(unsigned threads);
+  [[nodiscard]] unsigned cell_threads() const { return cell_threads_; }
+
   /// Run one simulation (seed taken from the config).
   [[nodiscard]] static RunMetrics run_single(const SimulationConfig& config);
 
@@ -70,7 +80,8 @@ class ExperimentRunner {
   /// Simulations are independent (each Grid owns its whole world and every
   /// RNG stream derives from the per-run seed), so results are bit-
   /// identical to the serial runner for any thread count. `threads` == 0
-  /// uses the hardware concurrency.
+  /// uses the hardware concurrency. The progress callback (if set) is
+  /// forwarded from every worker, serialised through a mutex.
   [[nodiscard]] std::vector<CellResult> run_matrix_parallel(
       const std::vector<EsAlgorithm>& es_algorithms,
       const std::vector<DsAlgorithm>& ds_algorithms, unsigned threads) const;
@@ -79,9 +90,14 @@ class ExperimentRunner {
   [[nodiscard]] const std::vector<std::uint64_t>& seeds() const { return seeds_; }
 
  private:
+  /// Invoke the progress callback under the mutex (workers race otherwise).
+  void report_progress(const std::string& line) const;
+
   SimulationConfig base_;
   std::vector<std::uint64_t> seeds_;
   std::function<void(const std::string&)> progress_;
+  unsigned cell_threads_ = 1;
+  mutable std::mutex progress_mutex_;
 };
 
 /// The paper's default seed triple.

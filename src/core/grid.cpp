@@ -66,7 +66,8 @@ void Grid::build_world() {
   }
   routing_ = std::make_unique<net::Routing>(topology_);
   transfers_ = std::make_unique<net::TransferManager>(engine_, topology_, *routing_,
-                                                      config_.share_policy);
+                                                      config_.share_policy,
+                                                      config_.realloc_mode);
 
   util::Rng rng_sites = util::Rng::substream(config_.seed, "sites");
   util::Rng rng_speeds = util::Rng::substream(config_.seed, "speeds");
@@ -750,6 +751,16 @@ void Grid::finish_run() {
   metrics_ = collector_.finalize(makespan, sites_, *transfers_);
   metrics_.remote_fetches = remote_fetches_;
   metrics_.replications = replications_started_;
+  metrics_.events_executed = engine_.events_executed();
+  metrics_.event_pushes = engine_.queue().total_pushes();
+  metrics_.event_cancels = engine_.queue().total_cancels();
+  metrics_.peak_heap_size = engine_.queue().peak_heap_size();
+  metrics_.queue_compactions = engine_.queue().compactions();
+  const net::TransferStats& ts = transfers_->stats();
+  metrics_.reallocations = ts.reallocations;
+  metrics_.flows_rescheduled = ts.flows_rescheduled;
+  metrics_.reschedules_skipped = ts.reschedules_skipped;
+  metrics_.rate_recomputes_skipped = ts.rate_recomputes_skipped;
   engine_.stop();
 }
 

@@ -60,6 +60,23 @@ struct RunMetrics {
   std::uint64_t local_data_misses = 0; ///< inputs that had to be fetched
   std::uint64_t cache_evictions = 0;
   std::uint64_t jobs_run_at_origin = 0; ///< placement locality
+
+  // Engine / network hot-path counters (perf diagnostics, docs/metrics.md).
+  // The calendar traffic (events, pushes, cancels, heap shape) and
+  // flows_rescheduled are identical between the Full and Incremental
+  // reallocation modes. The two skip counters split differently by mode —
+  // a flow Incremental skips at the dirty-link check never reaches the
+  // unchanged-rate check — but their sum is conserved (asserted by the
+  // A/B equivalence test).
+  std::uint64_t events_executed = 0;
+  std::uint64_t event_pushes = 0;       ///< calendar inserts over the run
+  std::uint64_t event_cancels = 0;      ///< calendar cancels over the run
+  std::uint64_t peak_heap_size = 0;     ///< largest physical calendar heap
+  std::uint64_t queue_compactions = 0;  ///< tombstone compactions performed
+  std::uint64_t reallocations = 0;          ///< TransferManager::reallocate calls
+  std::uint64_t flows_rescheduled = 0;      ///< completion events cancel+pushed
+  std::uint64_t reschedules_skipped = 0;    ///< rate unchanged: event kept
+  std::uint64_t rate_recomputes_skipped = 0;  ///< flow crossed no dirty link
 };
 
 class MetricsCollector {

@@ -31,6 +31,16 @@ std::string render_run_summary(const RunMetrics& m) {
   line("replications", std::to_string(m.replications));
   line("cache evictions", std::to_string(m.cache_evictions));
   line("jobs run at origin", std::to_string(m.jobs_run_at_origin));
+  line("events executed", std::to_string(m.events_executed));
+  line("calendar pushes/cancels",
+       std::to_string(m.event_pushes) + " / " + std::to_string(m.event_cancels));
+  line("peak calendar heap",
+       std::to_string(m.peak_heap_size) + " (" + std::to_string(m.queue_compactions) +
+           " compactions)");
+  line("reallocations", std::to_string(m.reallocations) + " (rescheduled " +
+                            std::to_string(m.flows_rescheduled) + ", kept " +
+                            std::to_string(m.reschedules_skipped) + ", rate-skip " +
+                            std::to_string(m.rate_recomputes_skipped) + ")");
   return out;
 }
 

@@ -15,7 +15,8 @@ constexpr util::Megabytes kResidualTolMb = 1e-3;
 }  // namespace
 
 TransferManager::TransferManager(sim::Engine& engine, const Topology& topo,
-                                 const Routing& routing, SharePolicy policy)
+                                 const Routing& routing, SharePolicy policy,
+                                 ReallocationMode mode)
     : engine_(engine),
       topo_(topo),
       routing_(routing),
@@ -23,7 +24,27 @@ TransferManager::TransferManager(sim::Engine& engine, const Topology& topo,
       link_flow_count_(topo.link_count(), 0),
       link_busy_time_(topo.link_count(), 0.0),
       link_scale_(topo.link_count(), 1.0),
-      last_settle_(engine.now()) {}
+      link_dirty_(topo.link_count(), 0),
+      last_settle_(engine.now()),
+      mode_(mode) {}
+
+void TransferManager::set_reschedule_tolerance(double tol) {
+  CHICSIM_ASSERT_MSG(tol >= 0.0, "reschedule tolerance must be non-negative");
+  reschedule_tolerance_ = tol;
+}
+
+void TransferManager::mark_link_dirty(LinkId link) {
+  if (link_dirty_[link]) return;
+  link_dirty_[link] = 1;
+  dirty_links_.push_back(link);
+}
+
+bool TransferManager::crosses_dirty_link(const Flow& f) const {
+  for (LinkId l : *f.path) {
+    if (link_dirty_[l]) return true;
+  }
+  return false;
+}
 
 double TransferManager::capacity(LinkId link) const {
   return topo_.link(link).bandwidth_mbps * link_scale_[link];
@@ -34,6 +55,7 @@ void TransferManager::set_bandwidth_scale(LinkId link, double scale) {
   CHICSIM_ASSERT_MSG(scale > 0.0, "bandwidth scale must be positive");
   settle();
   link_scale_[link] = scale;
+  mark_link_dirty(link);
   reallocate();
 }
 
@@ -77,7 +99,10 @@ TransferId TransferManager::start(NodeId src, NodeId dst, util::Megabytes size_m
   flow.on_complete = std::move(on_complete);
   flow.path = &routing_.path(src, dst);
   CHICSIM_ASSERT_MSG(!flow.path->empty(), "remote transfer with empty path");
-  for (LinkId l : *flow.path) ++link_flow_count_[l];
+  for (LinkId l : *flow.path) {
+    ++link_flow_count_[l];
+    mark_link_dirty(l);
+  }
   flows_.emplace(id, std::move(flow));
   reallocate();
   return id;
@@ -128,37 +153,82 @@ void TransferManager::settle() {
 }
 
 void TransferManager::reallocate() {
-  switch (policy_) {
-    case SharePolicy::EqualShare: compute_rates_equal_share(); break;
-    case SharePolicy::MaxMin: compute_rates_max_min(); break;
-    case SharePolicy::NoContention: compute_rates_no_contention(); break;
-  }
-  // Reschedule every remote flow's completion at its new finish time.
-  util::SimTime now = engine_.now();
-  for (auto& [id, f] : flows_) {
-    if (f.path == nullptr) continue;
-    if (f.completion_event != sim::kNoEvent) {
-      (void)engine_.cancel(f.completion_event);
-      f.completion_event = sim::kNoEvent;
+  ++stats_.reallocations;
+  const util::SimTime now = engine_.now();
+
+  if (policy_ == SharePolicy::MaxMin) {
+    // Progressive filling is inherently global (freezing one flow shifts
+    // slack to every other), so all rates are recomputed regardless of
+    // mode; the calendar still only sees flows whose rate moved.
+    old_rate_scratch_.clear();
+    for (auto& [id, f] : flows_) {
+      if (f.path != nullptr) old_rate_scratch_.push_back(f.rate);
     }
-    CHICSIM_ASSERT_MSG(f.rate > 0.0, "active flow allocated zero rate");
-    util::SimTime eta = f.remaining_mb <= kResidualTolMb ? 0.0 : f.remaining_mb / f.rate;
-    TransferId fid = id;
-    f.completion_event =
-        engine_.schedule_at(now + eta, [this, fid] { on_completion_event(fid); });
+    compute_rates_max_min();
+    std::size_t i = 0;
+    for (auto& [id, f] : flows_) {
+      if (f.path == nullptr) continue;
+      update_completion_event(id, f, old_rate_scratch_[i++], now);
+    }
+  } else {
+    const bool incremental = mode_ == ReallocationMode::Incremental;
+    for (auto& [id, f] : flows_) {
+      if (f.path == nullptr) continue;
+      if (incremental && f.completion_event != sim::kNoEvent && !crosses_dirty_link(f)) {
+        // No link on this flow's path changed count or capacity, and the
+        // rate is a pure function of those: it is bit-identical, skip.
+        ++stats_.rate_recomputes_skipped;
+        continue;
+      }
+      double old_rate = f.rate;
+      f.rate = path_rate(f);
+      update_completion_event(id, f, old_rate, now);
+    }
   }
+
+  for (LinkId l : dirty_links_) link_dirty_[l] = 0;
+  dirty_links_.clear();
 }
 
-void TransferManager::compute_rates_equal_share() {
-  for (auto& [id, f] : flows_) {
-    if (f.path == nullptr) continue;
-    double rate = util::kTimeInfinity;
+void TransferManager::update_completion_event(TransferId id, Flow& f, double old_rate,
+                                              util::SimTime now) {
+  CHICSIM_ASSERT_MSG(f.rate > 0.0, "active flow allocated zero rate");
+  if (mode_ != ReallocationMode::RescheduleAll && f.completion_event != sim::kNoEvent) {
+    bool unchanged = f.rate == old_rate ||
+                     (reschedule_tolerance_ > 0.0 &&
+                      std::abs(f.rate - old_rate) <=
+                          reschedule_tolerance_ * std::max(f.rate, old_rate));
+    if (unchanged) {
+      // Keep the event AND the old rate: the scheduled finish time was
+      // derived from old_rate, and with tolerance 0 the two are bit-equal
+      // anyway, so settle() keeps advancing the flow consistently.
+      f.rate = old_rate;
+      ++stats_.reschedules_skipped;
+      return;
+    }
+  }
+  if (f.completion_event != sim::kNoEvent) {
+    (void)engine_.cancel(f.completion_event);
+    f.completion_event = sim::kNoEvent;
+  }
+  util::SimTime eta = f.remaining_mb <= kResidualTolMb ? 0.0 : f.remaining_mb / f.rate;
+  TransferId fid = id;
+  f.completion_event =
+      engine_.schedule_at(now + eta, [this, fid] { on_completion_event(fid); });
+  ++stats_.flows_rescheduled;
+}
+
+double TransferManager::path_rate(const Flow& f) const {
+  double rate = util::kTimeInfinity;
+  if (policy_ == SharePolicy::NoContention) {
+    for (LinkId l : *f.path) rate = std::min(rate, capacity(l));
+  } else {
     for (LinkId l : *f.path) {
       CHICSIM_ASSERT(link_flow_count_[l] > 0);
       rate = std::min(rate, capacity(l) / static_cast<double>(link_flow_count_[l]));
     }
-    f.rate = rate;
   }
+  return rate;
 }
 
 void TransferManager::compute_rates_max_min() {
@@ -207,15 +277,6 @@ void TransferManager::compute_rates_max_min() {
   }
 }
 
-void TransferManager::compute_rates_no_contention() {
-  for (auto& [id, f] : flows_) {
-    if (f.path == nullptr) continue;
-    double rate = util::kTimeInfinity;
-    for (LinkId l : *f.path) rate = std::min(rate, capacity(l));
-    f.rate = rate;
-  }
-}
-
 void TransferManager::on_completion_event(TransferId id) {
   auto it = flows_.find(id);
   CHICSIM_ASSERT_MSG(it != flows_.end(), "completion event for unknown transfer");
@@ -238,6 +299,7 @@ void TransferManager::finish(TransferId id) {
     for (LinkId l : *flow.path) {
       CHICSIM_ASSERT(link_flow_count_[l] > 0);
       --link_flow_count_[l];
+      mark_link_dirty(l);
     }
     stats_.delivered_mb[static_cast<std::size_t>(flow.purpose)] += flow.size_mb;
     reallocate();

@@ -8,8 +8,10 @@
 //
 // We implement this as a fluid flow model.  Every active transfer f has a
 // current rate r(f); whenever the set of active transfers changes, all
-// flows are settled (remaining bytes advanced at the old rates), rates are
-// recomputed, and completion events are rescheduled.  Two allocation
+// flows are settled (remaining bytes advanced at the old rates), affected
+// rates are recomputed, and the completion events of flows whose rate
+// actually changed are rescheduled (see ReallocationMode below for the
+// incremental strategy and its exactness argument).  Two allocation
 // policies are provided:
 //
 //  * EqualShare (paper-faithful): r(f) = min over links l on f's path of
@@ -46,6 +48,35 @@ enum class SharePolicy : std::uint8_t {
   NoContention,  ///< ablation: every flow gets the full bottleneck bandwidth
 };
 
+/// How reallocate() turns recomputed rates into calendar updates.
+///
+/// * RescheduleAll — the historical behaviour: every active flow's
+///   completion event is cancelled and rescheduled on every change, even
+///   when its rate is untouched. O(flows · log events) heap work per
+///   transfer start/finish; kept as the microbenchmark baseline.
+/// * Full — every flow's rate is recomputed, but the completion event is
+///   only cancelled/rescheduled when the rate actually changed. A flow
+///   whose rate is unchanged keeps its event: the previously computed
+///   finish time is still exact, so the calendar stays untouched.
+/// * Incremental (default) — additionally skips the rate recomputation for
+///   flows that cross no link whose flow count or bandwidth scale changed
+///   since the last reallocation. For EqualShare and NoContention a flow's
+///   rate is a pure function of the capacities and flow counts on its own
+///   path, so such flows provably keep a bit-identical rate. MaxMin's
+///   progressive filling is global, so under MaxMin Incremental behaves
+///   exactly like Full.
+///
+/// Full and Incremental produce bit-identical schedules (asserted by the
+/// A/B equivalence test over the whole paper matrix). RescheduleAll agrees
+/// with both up to floating-point rounding: re-deriving an unchanged
+/// flow's finish time from the settled residue reorders the arithmetic and
+/// shifts completions by ulps.
+enum class ReallocationMode : std::uint8_t {
+  RescheduleAll,
+  Full,
+  Incremental,
+};
+
 /// Why a transfer was initiated; used to split accounting between
 /// job-driven fetches, DS-driven replication (Figure 3b counts both) and
 /// the optional output-return extension.
@@ -68,6 +99,12 @@ struct TransferStats {
   std::uint64_t transfers_completed = 0;
   std::uint64_t local_transfers = 0;
 
+  // Reallocation hot-path counters (see ReallocationMode).
+  std::uint64_t reallocations = 0;            ///< reallocate() invocations
+  std::uint64_t flows_rescheduled = 0;        ///< completion events cancel+pushed
+  std::uint64_t reschedules_skipped = 0;      ///< rate unchanged: event kept
+  std::uint64_t rate_recomputes_skipped = 0;  ///< flow crossed no dirty link
+
   [[nodiscard]] double total_delivered_mb() const {
     double total = 0.0;
     for (double mb : delivered_mb) total += mb;
@@ -80,7 +117,8 @@ class TransferManager {
   using CompletionFn = std::function<void(TransferId)>;
 
   TransferManager(sim::Engine& engine, const Topology& topo, const Routing& routing,
-                  SharePolicy policy = SharePolicy::EqualShare);
+                  SharePolicy policy = SharePolicy::EqualShare,
+                  ReallocationMode mode = ReallocationMode::Incremental);
 
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
@@ -123,6 +161,19 @@ class TransferManager {
 
   [[nodiscard]] const TransferStats& stats() const { return stats_; }
   [[nodiscard]] SharePolicy policy() const { return policy_; }
+  [[nodiscard]] ReallocationMode reallocation_mode() const { return mode_; }
+
+  /// Switch the reallocation strategy (A/B testing hook; safe at any time —
+  /// the mode only governs how the next reallocation updates the calendar).
+  void set_reallocation_mode(ReallocationMode mode) { mode_ = mode; }
+
+  /// Relative tolerance below which a rate change does not trigger a
+  /// reschedule (the flow keeps its old rate and finish time). The default
+  /// 0 skips only bit-identical rates, which preserves exact semantics;
+  /// a positive tolerance trades bounded finish-time error for fewer
+  /// calendar updates. Ignored under RescheduleAll.
+  void set_reschedule_tolerance(double tol);
+  [[nodiscard]] double reschedule_tolerance() const { return reschedule_tolerance_; }
 
  private:
   struct Flow {
@@ -141,13 +192,23 @@ class TransferManager {
   /// rates and accumulate link-busy statistics.
   void settle();
 
-  /// Recompute all flow rates under the active policy and reschedule each
-  /// flow's completion event.
+  /// Recompute flow rates under the active policy and bring the completion
+  /// events up to date, per the active ReallocationMode.
   void reallocate();
 
-  void compute_rates_equal_share();
+  /// Bottleneck rate of one flow under EqualShare / NoContention.
+  [[nodiscard]] double path_rate(const Flow& f) const;
   void compute_rates_max_min();
-  void compute_rates_no_contention();
+
+  /// Cancel + reschedule `f`'s completion event for its (already updated)
+  /// rate — or keep the event when the rate is unchanged within the
+  /// tolerance (and the mode allows keeping it).
+  void update_completion_event(TransferId id, Flow& f, double old_rate, util::SimTime now);
+
+  /// Mark a link whose flow count or capacity changed since the last
+  /// reallocation.
+  void mark_link_dirty(LinkId link);
+  [[nodiscard]] bool crosses_dirty_link(const Flow& f) const;
 
   void on_completion_event(TransferId id);
   void finish(TransferId id);
@@ -164,8 +225,17 @@ class TransferManager {
   std::vector<std::size_t> link_flow_count_;
   std::vector<util::SimTime> link_busy_time_;
   std::vector<double> link_scale_;
+  /// Links whose flow count or scale changed since the last reallocate();
+  /// the flag vector answers "is dirty?" in O(1), the id list makes
+  /// clearing O(dirty) instead of O(links).
+  std::vector<std::uint8_t> link_dirty_;
+  std::vector<LinkId> dirty_links_;
+  /// Scratch for MaxMin's old-rate snapshot (avoids per-reallocate allocs).
+  std::vector<double> old_rate_scratch_;
   util::SimTime last_settle_ = 0.0;
   TransferId next_id_ = 1;
+  ReallocationMode mode_;
+  double reschedule_tolerance_ = 0.0;
   TransferStats stats_;
 };
 

@@ -59,6 +59,10 @@ class Engine {
   /// Number of events currently pending.
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
+  /// The underlying calendar, for its performance counters (peak heap size,
+  /// tombstone count, compactions).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
  private:
   EventQueue queue_;
   util::SimTime now_ = 0.0;

@@ -19,6 +19,8 @@ void EventQueue::push(Event event) {
   pending_.insert(event.id);
   heap_.push_back(std::move(event));
   sift_up(heap_.size() - 1);
+  ++total_pushes_;
+  if (heap_.size() > peak_heap_size_) peak_heap_size_ = heap_.size();
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -26,6 +28,13 @@ bool EventQueue::cancel(EventId id) {
   if (it == pending_.end()) return false;
   pending_.erase(it);
   cancelled_.insert(id);
+  ++total_cancels_;
+  // Keep the heap O(live events): once the dead weight outnumbers the live
+  // entries, rebuild without it. Each compaction at least halves the heap,
+  // so the O(n) rebuild amortizes to O(1) per cancel.
+  if (cancelled_.size() > pending_.size() && heap_.size() >= kCompactionMinHeap) {
+    compact();
+  }
   return true;
 }
 
@@ -56,6 +65,20 @@ void EventQueue::drop_cancelled_top() {
     if (!heap_.empty()) sift_down(0);
   }
   CHICSIM_ASSERT_MSG(false, "drop_cancelled_top exhausted heap while events were pending");
+}
+
+void EventQueue::compact() {
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (cancelled_.find(heap_[i].id) != cancelled_.end()) continue;
+    if (live != i) heap_[live] = std::move(heap_[i]);
+    ++live;
+  }
+  heap_.resize(live);
+  cancelled_.clear();
+  // Floyd heapify: restore the heap property bottom-up in O(n).
+  for (std::size_t i = live / 2; i-- > 0;) sift_down(i);
+  ++compactions_;
 }
 
 void EventQueue::sift_up(std::size_t i) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <vector>
 
 #include "fake_view.hpp"
 
@@ -87,6 +89,53 @@ TEST(DataRandom, SkipsSitesAlreadyHolding) {
   ds.evaluate(ctx, rng);
   ASSERT_EQ(ctx.replicated_.size(), 1u);
   EXPECT_EQ(ctx.replicated_[0].second, 0u);
+}
+
+TEST(DataRandom, TwoSiteGridAlwaysReplicatesToTheOtherSite) {
+  // Regression: the draw used to cover all sites and burn retry attempts on
+  // self-collisions — on a 2-site grid every attempt failed with p = 1/2,
+  // so a hot dataset could (rarely but legitimately) exhaust all 16 draws
+  // and not replicate at all. The draw now excludes self, so the only other
+  // site is picked with certainty regardless of the rng stream.
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    FakeGridView view(2, 1);
+    FakeReplicationContext ctx(view, 0);
+    ctx.popular_ = {0};
+    util::Rng rng(seed);
+    DataRandomDs ds(10.0);
+    ds.evaluate(ctx, rng);
+    ASSERT_EQ(ctx.replicated_.size(), 1u);
+    EXPECT_EQ(ctx.replicated_[0].second, 1u);
+  }
+}
+
+TEST(DataRandom, SelfIsNeverDrawn) {
+  // Larger grid, self in the middle of the index range: the shifted draw
+  // must map around self, never onto it, and cover every other site.
+  FakeGridView view(5, 1);
+  std::vector<bool> seen(5, false);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    FakeReplicationContext ctx(view, 2);
+    ctx.popular_ = {0};
+    util::Rng rng(seed);
+    DataRandomDs ds(10.0);
+    ds.evaluate(ctx, rng);
+    ASSERT_EQ(ctx.replicated_.size(), 1u);
+    EXPECT_NE(ctx.replicated_[0].second, 2u);
+    seen[ctx.replicated_[0].second] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[3] && seen[4]);
+  EXPECT_FALSE(seen[2]);
+}
+
+TEST(DataRandom, SingleSiteGridDoesNothing) {
+  FakeGridView view(1, 1);
+  FakeReplicationContext ctx(view, 0);
+  ctx.popular_ = {0};
+  util::Rng rng(1);
+  DataRandomDs ds(10.0);
+  ds.evaluate(ctx, rng);
+  EXPECT_TRUE(ctx.replicated_.empty());
 }
 
 TEST(DataRandom, FullySaturatedDatasetIsOnlyReset) {

@@ -154,6 +154,41 @@ TEST(JobBestEstimate, ExploitsFasterProcessorsWhenDataIsCheap) {
   EXPECT_EQ(es.select_site(job, view, rng), 2u);
 }
 
+TEST(JobBestEstimate, BreaksTiesUniformlyInsteadOfFavoringSiteZero) {
+  // Regression: the scan used to ignore the rng and keep the first site
+  // within epsilon of the minimum, funnelling every tied decision to the
+  // lowest index. A symmetric grid (no data anywhere, equal loads and
+  // speeds) makes every site an exact tie, so all of them must be reachable.
+  FakeGridView view(5, 1);
+  view.place(0, 0);
+  view.place(0, 1);
+  view.place(0, 2);
+  view.place(0, 3);
+  view.place(0, 4);  // data everywhere: transfer estimate is 0 at all sites
+  util::Rng rng(14);
+  JobBestEstimateEs es;
+  auto job = make_job(1, 0, {0}, 300.0);
+  std::set<data::SiteIndex> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(es.select_site(job, view, rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(JobAdaptive, BreaksTiesBetweenDistinctCandidatesViaRng) {
+  // Origin (0) and the least-loaded pick tie on the estimate when data is
+  // everywhere and loads are equal; the choice must not always be the
+  // first candidate in scan order.
+  FakeGridView view(3, 1);
+  view.place(0, 0);
+  view.place(0, 1);
+  view.place(0, 2);
+  util::Rng rng(15);
+  JobAdaptiveEs es;
+  auto job = make_job(1, 0, {0}, 300.0);
+  std::set<data::SiteIndex> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(es.select_site(job, view, rng));
+  EXPECT_GT(seen.size(), 1u);
+}
+
 TEST(JobAdaptive, SpeedFactorsScaleTheEstimate) {
   FakeGridView view(2, 1);
   view.place(0, 1);

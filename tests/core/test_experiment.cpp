@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "util/error.hpp"
 
 namespace chicsim::core {
@@ -84,6 +86,31 @@ TEST(Experiment, ParallelMatrixIsBitIdenticalToSerial) {
       EXPECT_DOUBLE_EQ(parallel[i].makespan_s, serial[i].makespan_s);
     }
   }
+}
+
+TEST(Experiment, ParallelMatrixForwardsProgress) {
+  // Regression: run_matrix_parallel used to silently drop the progress
+  // callback. It now forwards per-seed progress from every worker,
+  // serialised through a mutex.
+  ExperimentRunner runner(tiny_config(), {1, 2});
+  std::atomic<int> calls{0};
+  runner.set_progress([&](const std::string& line) {
+    EXPECT_FALSE(line.empty());
+    ++calls;
+  });
+  auto cells = runner.run_matrix_parallel(
+      {EsAlgorithm::JobLocal}, {DsAlgorithm::DataDoNothing, DsAlgorithm::DataRandom}, 2);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(calls.load(), 4);  // 2 cells x 2 seeds
+}
+
+TEST(Experiment, CellThreadsProgressFiresPerSeed) {
+  ExperimentRunner runner(tiny_config(), {1, 2, 3});
+  runner.set_cell_threads(3);
+  std::atomic<int> calls{0};
+  runner.set_progress([&](const std::string&) { ++calls; });
+  (void)runner.run_cell(EsAlgorithm::JobLocal, DsAlgorithm::DataDoNothing);
+  EXPECT_EQ(calls.load(), 3);
 }
 
 TEST(Experiment, ParallelZeroThreadsUsesHardwareConcurrency) {

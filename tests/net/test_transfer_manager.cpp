@@ -12,8 +12,9 @@ namespace chicsim::net {
 namespace {
 
 struct World {
-  explicit World(Topology t, SharePolicy policy = SharePolicy::EqualShare)
-      : topo(std::move(t)), routing(topo), tm(engine, topo, routing, policy) {}
+  explicit World(Topology t, SharePolicy policy = SharePolicy::EqualShare,
+                 ReallocationMode mode = ReallocationMode::Incremental)
+      : topo(std::move(t)), routing(topo), tm(engine, topo, routing, policy, mode) {}
 
   sim::Engine engine;
   Topology topo;
@@ -341,6 +342,102 @@ TEST(TransferManager, RemainingMbTracksProgress) {
   EXPECT_TRUE(w.tm.active(id));
   w.engine.run();
   EXPECT_FALSE(w.tm.active(id));
+}
+
+TEST(TransferManager, IncrementalSkipsFlowsOnDisjointPaths) {
+  // Sites 0,3 share region 0; sites 1,4 share region 1: the two transfers
+  // use disjoint two-hop paths, so neither start nor finish of the second
+  // flow may touch the first flow's rate or completion event.
+  World w(build_hierarchy({6, 3, 10.0}));
+  double d1 = -1.0;
+  double d2 = -1.0;
+  w.tm.start(0, 3, 1000.0, TransferPurpose::JobFetch,
+             [&](TransferId) { d1 = w.engine.now(); });
+  w.engine.schedule_at(50.0, [&] {
+    w.tm.start(1, 4, 1000.0, TransferPurpose::JobFetch,
+               [&](TransferId) { d2 = w.engine.now(); });
+  });
+  w.engine.run();
+  EXPECT_NEAR(d1, 100.0, 1e-6);
+  EXPECT_NEAR(d2, 150.0, 1e-6);
+  const auto& s = w.tm.stats();
+  // Each flow was rescheduled exactly once (at its own start). The other
+  // flow's start/finish reallocations skip it without even recomputing its
+  // rate: once when flow 2 starts, once when flow 1 finishes.
+  EXPECT_EQ(s.flows_rescheduled, 2u);
+  EXPECT_EQ(s.rate_recomputes_skipped, 2u);
+  EXPECT_EQ(s.reschedules_skipped, 0u);
+}
+
+TEST(TransferManager, FullModeKeepsEventWhenRateIsUnchanged) {
+  // NoContention: each flow runs at the bottleneck capacity regardless of
+  // sharing, so the second start recomputes the first flow's rate (Full
+  // recomputes everything) but finds it unchanged and keeps the event.
+  World w(build_star(3, 10.0), SharePolicy::NoContention, ReallocationMode::Full);
+  double d1 = -1.0;
+  w.tm.start(0, 1, 1000.0, TransferPurpose::JobFetch,
+             [&](TransferId) { d1 = w.engine.now(); });
+  w.engine.schedule_at(10.0, [&] {
+    w.tm.start(0, 2, 500.0, TransferPurpose::JobFetch, [](TransferId) {});
+  });
+  w.engine.run();
+  EXPECT_NEAR(d1, 100.0, 1e-6);
+  const auto& s = w.tm.stats();
+  EXPECT_EQ(s.flows_rescheduled, 2u);      // one initial schedule per flow
+  EXPECT_GE(s.reschedules_skipped, 2u);    // flow 1 kept at start+finish of flow 2
+  EXPECT_EQ(s.rate_recomputes_skipped, 0u);  // Full never skips the recompute
+}
+
+TEST(TransferManager, RescheduleAllModeReschedulesEveryFlowEveryTime) {
+  World w(build_star(3, 10.0), SharePolicy::EqualShare, ReallocationMode::RescheduleAll);
+  double d1 = -1.0;
+  w.tm.start(0, 1, 1000.0, TransferPurpose::JobFetch,
+             [&](TransferId) { d1 = w.engine.now(); });
+  w.engine.schedule_at(50.0, [&] {
+    w.tm.start(0, 2, 250.0, TransferPurpose::JobFetch, [](TransferId) {});
+  });
+  w.engine.run();
+  // 50 s alone (500 MB), shared 50 s at 5 MB/s (250 MB), then 250 MB alone.
+  EXPECT_NEAR(d1, 125.0, 1e-6);
+  const auto& s = w.tm.stats();
+  EXPECT_EQ(s.reschedules_skipped, 0u);
+  EXPECT_EQ(s.rate_recomputes_skipped, 0u);
+  // start A (A), start B (A+B), finish B (A) = 4 reschedules.
+  EXPECT_EQ(s.flows_rescheduled, 4u);
+}
+
+TEST(TransferManager, ModesAgreeOnCompletionTimes) {
+  for (SharePolicy policy :
+       {SharePolicy::EqualShare, SharePolicy::MaxMin, SharePolicy::NoContention}) {
+    std::vector<std::vector<double>> completions;
+    for (ReallocationMode mode : {ReallocationMode::RescheduleAll, ReallocationMode::Full,
+                                  ReallocationMode::Incremental}) {
+      World w(build_hierarchy({10, 3, 10.0}), policy, mode);
+      util::Rng rng(21);
+      auto done = std::make_shared<std::vector<double>>();
+      for (int i = 0; i < 40; ++i) {
+        double at = rng.uniform(0.0, 200.0);
+        auto src = static_cast<NodeId>(rng.index(10));
+        NodeId dst = src;
+        while (dst == src) dst = static_cast<NodeId>(rng.index(10));
+        double size = rng.uniform(100.0, 2000.0);
+        w.engine.schedule_at(at, [&w, done, src, dst, size] {
+          w.tm.start(src, dst, size, TransferPurpose::JobFetch,
+                     [&w, done](TransferId) { done->push_back(w.engine.now()); });
+        });
+      }
+      w.engine.run();
+      EXPECT_EQ(done->size(), 40u);
+      completions.push_back(*done);
+    }
+    // Full and Incremental are bit-identical; RescheduleAll only up to the
+    // floating-point reordering of re-derived finish times.
+    ASSERT_EQ(completions[1].size(), completions[2].size());
+    for (std::size_t i = 0; i < completions[1].size(); ++i) {
+      EXPECT_DOUBLE_EQ(completions[1][i], completions[2][i]);
+      EXPECT_NEAR(completions[0][i], completions[1][i], 1e-6);
+    }
+  }
 }
 
 }  // namespace

@@ -158,5 +158,66 @@ TEST(EventQueue, PropertyRandomWorkloadStaysOrdered) {
   }
 }
 
+// Cancel-heavy churn, like transfer completions under heavy reallocation:
+// push batches, cancel nearly all of them, and verify the physical heap is
+// compacted down to O(live events) instead of accumulating every tombstone.
+TEST(EventQueue, CancelHeavyWorkloadCompactsHeap) {
+  util::Rng rng(1234);
+  EventQueue q;
+  EventId next_id = 1;
+  std::vector<std::pair<util::SimTime, EventId>> survivors;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::pair<util::SimTime, EventId>> batch;
+    for (int i = 0; i < 50; ++i) {
+      EventId id = next_id++;
+      double t = rng.uniform(0.0, 1e6);
+      q.push(make_event(t, id));
+      batch.emplace_back(t, id);
+    }
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {  // keep 1 of 50
+      EXPECT_TRUE(q.cancel(batch[i].second));
+    }
+    survivors.push_back(batch.back());
+    // Post-cancel invariant: either the heap is below the compaction
+    // threshold (64) or tombstones do not outnumber live events, so the
+    // physical heap is bounded by twice the live count.
+    EXPECT_LE(q.heap_size(), std::max<std::size_t>(63, 2 * q.size()));
+  }
+  EXPECT_EQ(q.size(), survivors.size());
+  EXPECT_EQ(q.total_pushes(), 200u * 50u);
+  EXPECT_EQ(q.total_cancels(), 200u * 49u);
+  EXPECT_GT(q.compactions(), 0u);
+  // 10000 events were pushed; without compaction the heap would have held
+  // most of them at peak. With it, peak stays O(per-round live + batch).
+  EXPECT_LT(q.peak_heap_size(), 2000u);
+
+  // Compaction never changes delivery: pops come out in exact (time, id)
+  // order over the surviving events.
+  std::sort(survivors.begin(), survivors.end());
+  for (const auto& [t, id] : survivors) {
+    Event e = q.pop();
+    EXPECT_EQ(e.id, id);
+    EXPECT_DOUBLE_EQ(e.time, t);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CountersTrackSmallWorkload) {
+  EventQueue q;
+  q.push(make_event(1.0, 1));
+  q.push(make_event(2.0, 2));
+  q.push(make_event(3.0, 3));
+  EXPECT_EQ(q.total_pushes(), 3u);
+  EXPECT_EQ(q.peak_heap_size(), 3u);
+  EXPECT_TRUE(q.cancel(2));
+  EXPECT_EQ(q.total_cancels(), 1u);
+  EXPECT_EQ(q.tombstone_count(), 1u);  // below threshold: no compaction
+  EXPECT_EQ(q.compactions(), 0u);
+  EXPECT_EQ(q.heap_size(), 3u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_EQ(q.pop().id, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace chicsim::sim
