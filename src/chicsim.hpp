@@ -56,15 +56,22 @@
 
 // The scheduling framework (the paper's contribution)
 #include "core/algorithms.hpp"
+#include "core/audit.hpp"
 #include "core/config.hpp"
 #include "core/ds_policies.hpp"
 #include "core/es_policies.hpp"
 #include "core/events.hpp"
 #include "core/experiment.hpp"
 #include "core/factory.hpp"
+#include "core/fetch_planner.hpp"
 #include "core/grid.hpp"
+#include "core/info_service.hpp"
+#include "core/job_lifecycle.hpp"
 #include "core/ls_policies.hpp"
 #include "core/metrics.hpp"
+#include "core/replication_driver.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "core/service_interfaces.hpp"
 #include "core/timeline.hpp"
+#include "core/world_builder.hpp"

@@ -1,0 +1,16 @@
+// Cross-service invariant checks over a composed Grid. Kept outside the
+// composition root on purpose: the audit only uses the public read surface,
+// so it cannot silently depend on service internals.
+#pragma once
+
+namespace chicsim::core {
+
+class Grid;
+
+/// Audit the grid's cross-component invariants; throws util::SimError with a
+/// description on the first violation. After a finished run it additionally
+/// checks quiescence (empty queues, no running jobs, no busy elements).
+/// Cheap enough to call from tests after every scenario.
+void audit_grid(const Grid& grid);
+
+}  // namespace chicsim::core

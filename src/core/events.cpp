@@ -73,4 +73,20 @@ void EventLog::clear() {
   for (auto& c : counts_) c = 0;
 }
 
+void EventBus::set_clock(std::function<util::SimTime()> clock) {
+  clock_ = std::move(clock);
+}
+
+void EventBus::add_observer(GridObserver* observer) {
+  CHICSIM_ASSERT_MSG(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void EventBus::emit(GridEvent event) {
+  if (observers_.empty()) return;
+  CHICSIM_ASSERT_MSG(clock_, "event bus has no clock");
+  event.time = clock_();
+  for (GridObserver* observer : observers_) observer->on_event(event);
+}
+
 }  // namespace chicsim::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -54,6 +55,35 @@ class GridObserver {
  public:
   virtual ~GridObserver() = default;
   virtual void on_event(const GridEvent& event) = 0;
+};
+
+/// Where the core services publish structured events. Services never talk
+/// to observers directly — they see only this sink, so a service can be
+/// unit-tested against a recording stub.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Stamp the current virtual time on `event` and fan it out.
+  virtual void emit(GridEvent event) = 0;
+};
+
+/// The Grid's event bus: owns the observer list and the clock used to stamp
+/// events. Pay-for-what-you-use: with no observers attached, emit() is a
+/// null check and the clock is never consulted.
+class EventBus final : public EventSink {
+ public:
+  /// `clock` supplies the virtual time stamped on every emitted event; it
+  /// must be set before the first observer sees an event.
+  void set_clock(std::function<util::SimTime()> clock);
+
+  /// The observer is non-owning and must outlive every emit.
+  void add_observer(GridObserver* observer);
+
+  void emit(GridEvent event) override;
+
+ private:
+  std::function<util::SimTime()> clock_;
+  std::vector<GridObserver*> observers_;
 };
 
 /// Retaining observer: keeps every event, offers queries and CSV export.

@@ -1,0 +1,136 @@
+#include "core/fetch_planner.hpp"
+
+#include "core/replication_driver.hpp"
+#include "util/error.hpp"
+
+namespace chicsim::core {
+
+FetchPlanner::FetchPlanner(const SimulationConfig& config, const sim::Engine& engine,
+                           std::vector<site::Site>& sites,
+                           const data::DatasetCatalog& catalog,
+                           const data::ReplicaCatalog& replicas, const net::Routing& routing,
+                           net::TransferManager& transfers, ReplicationDriver& replication,
+                           EventSink& events)
+    : config_(config),
+      engine_(engine),
+      sites_(sites),
+      catalog_(catalog),
+      replicas_(replicas),
+      routing_(routing),
+      transfers_(transfers),
+      replication_(replication),
+      events_(events),
+      rng_fetch_(util::Rng::substream(config.seed, "fetch")) {
+  pending_fetches_.resize(sites_.size());
+}
+
+void FetchPlanner::bind_jobs(JobRunner& jobs) { jobs_ = &jobs; }
+
+std::size_t FetchPlanner::pending_fetches(data::SiteIndex dest) const {
+  CHICSIM_ASSERT_MSG(dest < pending_fetches_.size(), "site index out of range");
+  return pending_fetches_[dest].size();
+}
+
+void FetchPlanner::request_input(site::Job& job, data::DatasetId input) {
+  data::SiteIndex dest = job.exec_site;
+  site::Site& site = sites_[dest];
+  if (site.storage().lookup(input)) {
+    // Present locally: hold a reference until the job completes so LRU
+    // cannot evict an input out from under a queued/running job.
+    site.storage().acquire(input);
+    replication_.note_access(input, /*source=*/dest, /*client=*/job.origin_site,
+                             /*fetch_dest=*/data::kNoSite);
+    return;
+  }
+
+  ++job.inputs_pending;
+  auto& pending = pending_fetches_[dest];
+  auto it = pending.find(input);
+  if (it != pending.end()) {
+    // A fetch of this dataset toward this site is already in flight; join.
+    it->second.waiters.push_back(job.id);
+    replication_.note_access(input, it->second.source, job.origin_site, dest);
+    return;
+  }
+
+  data::SiteIndex source = choose_source(input, dest);
+  replication_.note_access(input, source, job.origin_site, dest);
+  ++remote_fetches_;
+  events_.emit(GridEvent{GridEventType::FetchStarted, 0.0, job.id, input, source, dest,
+                         catalog_.size_mb(input)});
+  sites_[source].storage().acquire(input);  // keep the source copy alive
+  PendingFetch fetch;
+  fetch.source = source;
+  fetch.waiters.push_back(job.id);
+  fetch.transfer = transfers_.start(
+      source, dest, catalog_.size_mb(input), net::TransferPurpose::JobFetch,
+      [this, dest, input](net::TransferId) { on_fetch_complete(dest, input); });
+  pending.emplace(input, std::move(fetch));
+}
+
+data::SiteIndex FetchPlanner::choose_source(data::DatasetId dataset, data::SiteIndex dest) {
+  const auto& holders = replicas_.locations(dataset);
+  CHICSIM_ASSERT_MSG(!holders.empty(), "fetch of a dataset with no replicas");
+  switch (config_.replica_selection) {
+    case ReplicaSelection::Random: {
+      return holders[rng_fetch_.index(holders.size())];
+    }
+    case ReplicaSelection::Closest: {
+      data::SiteIndex best = holders.front();
+      for (data::SiteIndex h : holders) {
+        std::size_t dh = routing_.hops(h, dest);
+        std::size_t db = routing_.hops(best, dest);
+        if (dh < db || (dh == db && (sites_[h].load() < sites_[best].load() ||
+                                     (sites_[h].load() == sites_[best].load() && h < best)))) {
+          best = h;
+        }
+      }
+      return best;
+    }
+    case ReplicaSelection::LeastLoadedSource: {
+      data::SiteIndex best = holders.front();
+      for (data::SiteIndex h : holders) {
+        std::size_t lh = sites_[h].load();
+        std::size_t lb = sites_[best].load();
+        if (lh < lb || (lh == lb && (routing_.hops(h, dest) < routing_.hops(best, dest) ||
+                                     (routing_.hops(h, dest) == routing_.hops(best, dest) &&
+                                      h < best)))) {
+          best = h;
+        }
+      }
+      return best;
+    }
+  }
+  throw util::SimError("unknown replica selection policy");
+}
+
+void FetchPlanner::on_fetch_complete(data::SiteIndex dest, data::DatasetId dataset) {
+  auto& pending = pending_fetches_[dest];
+  auto it = pending.find(dataset);
+  CHICSIM_ASSERT_MSG(it != pending.end(), "fetch completion without pending record");
+  PendingFetch fetch = std::move(it->second);
+  pending.erase(it);
+
+  sites_[fetch.source].storage().release(dataset);
+  events_.emit(GridEvent{GridEventType::FetchCompleted, 0.0,
+                         fetch.waiters.empty() ? site::kNoJob : fetch.waiters.front(),
+                         dataset, fetch.source, dest, catalog_.size_mb(dataset)});
+  replication_.store_replica(dest, dataset);
+
+  CHICSIM_ASSERT_MSG(jobs_ != nullptr, "fetch planner not wired");
+  site::Site& site = sites_[dest];
+  for (site::JobId waiter : fetch.waiters) {
+    site::Job& job = jobs_->job_mut(waiter);
+    CHICSIM_ASSERT(job.inputs_pending > 0);
+    site.storage().acquire(dataset);
+    --job.inputs_pending;
+    if (job.data_ready()) {
+      job.data_ready_time = engine_.now();
+      events_.emit(GridEvent{GridEventType::JobDataReady, 0.0, waiter, data::kNoDataset,
+                             dest, data::kNoSite, 0.0});
+    }
+  }
+  jobs_->try_start_jobs(dest);
+}
+
+}  // namespace chicsim::core

@@ -1,0 +1,89 @@
+// The fetch planner: resolves a dispatched job's missing inputs into
+// network transfers and keeps the pending-fetch bookkeeping.
+//
+// "the data transfer needed for a job starts while the job is still in the
+// processor queue" (§5.2): dispatch asks this service for every input, it
+// pins local copies, coalesces concurrent demand for the same dataset into
+// one in-flight fetch (later jobs join as waiters), selects the source
+// replica per the replica_selection policy against ground truth, and wakes
+// the Local Scheduler when data lands.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "core/service_interfaces.hpp"
+#include "data/catalog.hpp"
+#include "data/replica_catalog.hpp"
+#include "net/routing.hpp"
+#include "net/transfer_manager.hpp"
+#include "sim/engine.hpp"
+#include "site/site.hpp"
+#include "util/rng.hpp"
+
+namespace chicsim::core {
+
+class ReplicationDriver;
+
+class FetchPlanner final {
+ public:
+  /// References are non-owning and must outlive the planner.
+  FetchPlanner(const SimulationConfig& config, const sim::Engine& engine,
+               std::vector<site::Site>& sites, const data::DatasetCatalog& catalog,
+               const data::ReplicaCatalog& replicas, const net::Routing& routing,
+               net::TransferManager& transfers, ReplicationDriver& replication,
+               EventSink& events);
+
+  /// Late wiring for the one cyclic seam (fetch completions restart jobs).
+  void bind_jobs(JobRunner& jobs);
+
+  /// Ensure one input of a queued job is (or becomes) locally available at
+  /// job.exec_site; increments job.inputs_pending while a fetch is needed.
+  void request_input(site::Job& job, data::DatasetId input);
+
+  /// Source-replica selection for a fetch toward `dest` (replica_selection
+  /// policy; never returns dest). Selection reads the *ground-truth*
+  /// replica catalog — the fetch machinery executes against reality even
+  /// when policies observe a stale snapshot.
+  [[nodiscard]] data::SiteIndex choose_source(data::DatasetId dataset,
+                                              data::SiteIndex dest);
+
+  /// Job-driven transfers started (diagnostic).
+  [[nodiscard]] std::uint64_t remote_fetches() const { return remote_fetches_; }
+
+  /// Datasets currently being fetched toward `dest` (test seam).
+  [[nodiscard]] std::size_t pending_fetches(data::SiteIndex dest) const;
+
+ private:
+  /// A fetch in flight toward one site, shared by all jobs awaiting it.
+  struct PendingFetch {
+    net::TransferId transfer = net::kNoTransfer;
+    data::SiteIndex source = data::kNoSite;
+    std::vector<site::JobId> waiters;
+  };
+
+  void on_fetch_complete(data::SiteIndex dest, data::DatasetId dataset);
+
+  const SimulationConfig& config_;
+  const sim::Engine& engine_;
+  std::vector<site::Site>& sites_;
+  const data::DatasetCatalog& catalog_;
+  const data::ReplicaCatalog& replicas_;
+  const net::Routing& routing_;
+  net::TransferManager& transfers_;
+  ReplicationDriver& replication_;
+  EventSink& events_;
+  JobRunner* jobs_ = nullptr;
+
+  util::Rng rng_fetch_;
+
+  /// Per destination site: datasets currently being fetched there.
+  std::vector<std::unordered_map<data::DatasetId, PendingFetch>> pending_fetches_;
+
+  std::uint64_t remote_fetches_ = 0;
+};
+
+}  // namespace chicsim::core

@@ -1,27 +1,14 @@
 #include "core/grid.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "core/factory.hpp"
+#include "core/audit.hpp"
+#include "core/world_builder.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/string_util.hpp"
 
 namespace chicsim::core {
 
-namespace {
-std::uint64_t push_key(data::DatasetId dataset, data::SiteIndex dest) {
-  return (static_cast<std::uint64_t>(dataset) << 32) | dest;
-}
-}  // namespace
-
-Grid::Grid(const SimulationConfig& config)
-    : config_(config),
-      rng_es_(util::Rng::substream(config.seed, "es")),
-      rng_ds_(util::Rng::substream(config.seed, "ds")),
-      rng_fetch_(util::Rng::substream(config.seed, "fetch")),
-      rng_arrivals_(util::Rng::substream(config.seed, "arrivals")) {
+Grid::Grid(const SimulationConfig& config) : config_(config) {
   config_.validate();
   build_world();
   util::Rng rng_workload = util::Rng::substream(config_.seed, "workload");
@@ -34,128 +21,58 @@ Grid::Grid(const SimulationConfig& config)
   wcfg.compute_seconds_per_gb = config_.compute_seconds_per_gb;
   wcfg.user_focus = config_.user_focus;
   workload_ = std::make_unique<workload::Workload>(wcfg, catalog_, rng_workload);
-  instantiate_jobs();
+  wire_services();
 }
 
-Grid::Grid(const SimulationConfig& config, workload::Workload workload)
-    : config_(config),
-      rng_es_(util::Rng::substream(config.seed, "es")),
-      rng_ds_(util::Rng::substream(config.seed, "ds")),
-      rng_fetch_(util::Rng::substream(config.seed, "fetch")),
-      rng_arrivals_(util::Rng::substream(config.seed, "arrivals")) {
+Grid::Grid(const SimulationConfig& config, workload::Workload workload) : config_(config) {
   config_.validate();
   CHICSIM_ASSERT_MSG(workload.num_users() == config_.num_users,
                      "trace user count does not match config");
   build_world();
   workload_ = std::make_unique<workload::Workload>(std::move(workload));
-  instantiate_jobs();
+  wire_services();
 }
+
+Grid::~Grid() = default;
 
 void Grid::build_world() {
   logger_.set_clock([this] { return engine_.now(); });
-
-  if (config_.topology == TopologyKind::Star) {
-    topology_ = net::build_star(config_.num_sites, config_.link_bandwidth_mbps);
-  } else {
-    net::HierarchyConfig hcfg;
-    hcfg.num_sites = config_.num_sites;
-    hcfg.num_regions = config_.num_regions;
-    hcfg.link_bandwidth_mbps = config_.link_bandwidth_mbps;
-    hcfg.backbone_multiplier = config_.backbone_bandwidth_multiplier;
-    topology_ = net::build_hierarchy(hcfg);
-  }
+  topology_ = build_topology(config_);
   routing_ = std::make_unique<net::Routing>(topology_);
   transfers_ = std::make_unique<net::TransferManager>(engine_, topology_, *routing_,
                                                       config_.share_policy,
                                                       config_.realloc_mode);
-
-  util::Rng rng_sites = util::Rng::substream(config_.seed, "sites");
-  util::Rng rng_speeds = util::Rng::substream(config_.seed, "speeds");
-  sites_.reserve(config_.num_sites);
-  for (std::size_t s = 0; s < config_.num_sites; ++s) {
-    auto elements = static_cast<std::size_t>(rng_sites.uniform_int(
-        static_cast<std::int64_t>(config_.min_compute_elements),
-        static_cast<std::int64_t>(config_.max_compute_elements)));
-    double speed = 1.0;
-    if (config_.compute_speed_spread > 0.0) {
-      speed = rng_speeds.uniform(1.0 - config_.compute_speed_spread,
-                                 1.0 + config_.compute_speed_spread);
-    }
-    sites_.emplace_back(static_cast<data::SiteIndex>(s), elements,
-                        config_.storage_capacity_mb, config_.popularity_half_life_s, speed);
-  }
-
-  // Neighbour lists (the DS's "list of known sites"): every other site for
-  // the Grid scope, or the leaf sites under the same regional router for
-  // Region scope (matching build_hierarchy's round-robin assignment).
-  neighbors_.resize(config_.num_sites);
-  for (std::size_t s = 0; s < config_.num_sites; ++s) {
-    for (std::size_t t = 0; t < config_.num_sites; ++t) {
-      if (t == s) continue;
-      // A star has no regions: every site is everyone's neighbour.
-      bool same_region = config_.topology == TopologyKind::Star ||
-                         t % config_.num_regions == s % config_.num_regions;
-      if (config_.ds_neighbor_scope == NeighborScope::Grid || same_region) {
-        neighbors_[s].push_back(static_cast<data::SiteIndex>(t));
-      }
-    }
-  }
-
-  util::Rng rng_datasets = util::Rng::substream(config_.seed, "datasets");
-  catalog_ = data::DatasetCatalog::generate_uniform(config_.num_datasets,
-                                                    config_.min_dataset_mb,
-                                                    config_.max_dataset_mb, rng_datasets);
+  sites_ = build_sites(config_);
+  neighbors_ = build_neighbor_lists(config_);
+  catalog_ = build_catalog(config_);
   replica_catalog_ = std::make_unique<data::ReplicaCatalog>(catalog_.size());
-  place_masters();
-
-  es_ = make_external_scheduler(config_.es);
-  ls_ = make_local_scheduler(config_.ls);
-  ds_ = make_dataset_scheduler(config_.ds, config_.replication_threshold);
-
-  pending_fetches_.resize(config_.num_sites);
-  requester_counts_.resize(config_.num_sites);
-  inbound_pushes_.assign(config_.num_sites, 0);
+  place_master_replicas(config_, catalog_, sites_, *replica_catalog_);
 }
 
-void Grid::place_masters() {
-  // "initially only one replica per dataset in the system", datasets
-  // distributed uniformly across sites (§5.1). If the drawn site lacks
-  // space for the pinned master, fall back to the next site with room.
-  util::Rng rng_place = util::Rng::substream(config_.seed, "placement");
-  for (data::DatasetId d = 0; d < catalog_.size(); ++d) {
-    util::Megabytes size = catalog_.size_mb(d);
-    auto first = static_cast<data::SiteIndex>(rng_place.index(sites_.size()));
-    data::SiteIndex chosen = data::kNoSite;
-    for (std::size_t offset = 0; offset < sites_.size(); ++offset) {
-      auto s = static_cast<data::SiteIndex>((first + offset) % sites_.size());
-      if (sites_[s].storage().free_mb() >= size) {
-        chosen = s;
-        break;
-      }
-    }
-    if (chosen == data::kNoSite) {
-      throw util::SimError("grid: total storage too small for the master copies");
-    }
-    sites_[chosen].storage().add_master(d, size);
-    replica_catalog_->add(d, chosen);
-  }
-}
-
-void Grid::instantiate_jobs() {
-  jobs_.resize(workload_->total_jobs());
+void Grid::wire_services() {
   for (site::UserId u = 0; u < workload_->num_users(); ++u) {
     for (const site::Job& tmpl : workload_->jobs_of(u)) {
-      CHICSIM_ASSERT_MSG(tmpl.id >= 1 && tmpl.id <= jobs_.size(),
-                         "workload job ids must be dense in [1, total]");
-      CHICSIM_ASSERT_MSG(tmpl.origin_site < sites_.size(), "job origin site out of range");
       for (auto input : tmpl.inputs) {
         CHICSIM_ASSERT_MSG(input < catalog_.size(), "job references unknown dataset");
       }
-      jobs_[tmpl.id - 1] = tmpl;
     }
   }
-  users_.resize(workload_->num_users());
-  for (site::UserId u = 0; u < users_.size(); ++u) users_[u] = User{u, 0};
+
+  bus_.set_clock([this] { return engine_.now(); });
+  info_ = std::make_unique<InfoService>(config_, engine_, sites_, catalog_,
+                                        *replica_catalog_, topology_, *routing_,
+                                        *transfers_, neighbors_);
+  replication_ = std::make_unique<ReplicationDriver>(config_, engine_, sites_, catalog_,
+                                                     *replica_catalog_, *transfers_,
+                                                     *info_, bus_);
+  fetch_ = std::make_unique<FetchPlanner>(config_, engine_, sites_, catalog_,
+                                          *replica_catalog_, *routing_, *transfers_,
+                                          *replication_, bus_);
+  lifecycle_ = std::make_unique<JobLifecycle>(config_, engine_, logger_, sites_,
+                                              *workload_, *transfers_, *fetch_, *info_,
+                                              bus_, collector_, [this] { finish_run(); });
+  fetch_->bind_jobs(*lifecycle_);
+  replication_->bind_jobs(*lifecycle_);
 }
 
 const site::Site& Grid::site_at(data::SiteIndex s) const {
@@ -163,220 +80,29 @@ const site::Site& Grid::site_at(data::SiteIndex s) const {
   return sites_[s];
 }
 
-const site::Job& Grid::job(site::JobId id) const {
-  CHICSIM_ASSERT_MSG(id >= 1 && id <= jobs_.size(), "job id out of range");
-  return jobs_[id - 1];
-}
-
-site::Job& Grid::job_mut(site::JobId id) {
-  CHICSIM_ASSERT_MSG(id >= 1 && id <= jobs_.size(), "job id out of range");
-  return jobs_[id - 1];
-}
-
-// --- GridView ---
-
-std::size_t Grid::site_load(data::SiteIndex s) const {
-  if (config_.info_staleness_s <= 0.0) return site_at(s).load();
-  // Loads are re-published on a fixed cadence; between publications every
-  // scheduler sees the same (possibly stale) snapshot, like a grid
-  // information service of the era.
-  util::SimTime epoch =
-      std::floor(now() / config_.info_staleness_s) * config_.info_staleness_s;
-  if (epoch > load_snapshot_time_ || load_snapshot_.size() != sites_.size()) {
-    load_snapshot_.resize(sites_.size());
-    for (std::size_t i = 0; i < sites_.size(); ++i) load_snapshot_[i] = sites_[i].load();
-    load_snapshot_time_ = epoch;
-  }
-  CHICSIM_ASSERT(s < load_snapshot_.size());
-  return load_snapshot_[s];
-}
-
-std::size_t Grid::site_compute_elements(data::SiteIndex s) const {
-  return site_at(s).compute().size();
-}
-
-double Grid::site_speed_factor(data::SiteIndex s) const { return site_at(s).speed_factor(); }
-
-const std::vector<data::SiteIndex>& Grid::replica_sites(data::DatasetId dataset) const {
-  return replica_catalog_->locations(dataset);
-}
-
-bool Grid::site_has_dataset(data::SiteIndex s, data::DatasetId dataset) const {
-  return replica_catalog_->has(dataset, s);
-}
-
-util::Megabytes Grid::dataset_size_mb(data::DatasetId dataset) const {
-  return catalog_.size_mb(dataset);
-}
-
-std::size_t Grid::hops(data::SiteIndex a, data::SiteIndex b) const {
-  return routing_->hops(a, b);
-}
-
-const std::vector<data::SiteIndex>& Grid::neighbors(data::SiteIndex s) const {
-  CHICSIM_ASSERT_MSG(s < neighbors_.size(), "site index out of range");
-  return neighbors_[s];
-}
-
-std::size_t Grid::path_congestion(data::SiteIndex a, data::SiteIndex b) const {
-  if (a == b) return 0;
-  std::size_t worst = 0;
-  for (net::LinkId l : routing_->path(a, b)) {
-    worst = std::max(worst, transfers_->flows_on_link(l));
-  }
-  return worst;
-}
-
-util::MbPerSec Grid::path_bandwidth_mbps(data::SiteIndex a, data::SiteIndex b) const {
-  if (a == b) return util::kTimeInfinity;
-  util::MbPerSec bw = util::kTimeInfinity;
-  for (net::LinkId l : routing_->path(a, b)) {
-    bw = std::min(bw, topology_.link(l).bandwidth_mbps);
-  }
-  return bw;
-}
-
-// --- Dataset Scheduler adapter ---
-
-class Grid::ReplCtx final : public ReplicationContext {
- public:
-  ReplCtx(Grid& grid, data::SiteIndex self) : grid_(grid), self_(self) {}
-
-  [[nodiscard]] data::SiteIndex self() const override { return self_; }
-  [[nodiscard]] const GridView& view() const override { return grid_; }
-
-  void replicate(data::DatasetId dataset, data::SiteIndex destination) override {
-    grid_.start_replication(self_, dataset, destination);
-  }
-
-  [[nodiscard]] std::vector<data::DatasetId> popular_datasets(
-      double threshold) const override {
-    std::vector<data::DatasetId> hot =
-        grid_.sites_[self_].popularity().over_threshold(threshold, grid_.now());
-    // Only datasets the site still holds can be pushed from here.
-    std::erase_if(hot, [this](data::DatasetId d) {
-      return !grid_.sites_[self_].storage().contains(d);
-    });
-    return hot;
-  }
-
-  void reset_popularity(data::DatasetId dataset) override {
-    grid_.sites_[self_].popularity().reset(dataset);
-  }
-
-  [[nodiscard]] std::size_t inbound_replications(data::SiteIndex site) const override {
-    CHICSIM_ASSERT(site < grid_.inbound_pushes_.size());
-    return grid_.inbound_pushes_[site];
-  }
-
-  [[nodiscard]] data::SiteIndex top_requester(data::DatasetId dataset) const override {
-    const auto& per_dataset = grid_.requester_counts_[self_];
-    auto it = per_dataset.find(dataset);
-    if (it == per_dataset.end()) return data::kNoSite;
-    data::SiteIndex best = data::kNoSite;
-    std::uint64_t best_count = 0;
-    for (const auto& [requester, count] : it->second) {
-      if (count > best_count || (count == best_count && requester < best)) {
-        best = requester;
-        best_count = count;
-      }
-    }
-    return best;
-  }
-
- private:
-  Grid& grid_;
-  data::SiteIndex self_;
-};
-
 // --- policy injection ---
 
 void Grid::set_external_scheduler(std::unique_ptr<ExternalScheduler> es) {
   CHICSIM_ASSERT_MSG(!ran_, "policies must be set before run()");
-  CHICSIM_ASSERT_MSG(es != nullptr, "null external scheduler");
-  es_ = std::move(es);
+  lifecycle_->set_external_scheduler(std::move(es));
 }
 
 void Grid::set_local_scheduler(std::unique_ptr<LocalScheduler> ls) {
   CHICSIM_ASSERT_MSG(!ran_, "policies must be set before run()");
-  CHICSIM_ASSERT_MSG(ls != nullptr, "null local scheduler");
-  ls_ = std::move(ls);
+  lifecycle_->set_local_scheduler(std::move(ls));
 }
 
 void Grid::set_dataset_scheduler(std::unique_ptr<DatasetScheduler> ds) {
   CHICSIM_ASSERT_MSG(!ran_, "policies must be set before run()");
-  CHICSIM_ASSERT_MSG(ds != nullptr, "null dataset scheduler");
-  ds_ = std::move(ds);
+  replication_->set_dataset_scheduler(std::move(ds));
 }
 
 void Grid::add_observer(GridObserver* observer) {
   CHICSIM_ASSERT_MSG(observer != nullptr, "null observer");
-  observers_.push_back(observer);
+  bus_.add_observer(observer);
 }
 
-void Grid::emit(GridEvent event) {
-  if (observers_.empty()) return;
-  event.time = now();
-  for (GridObserver* observer : observers_) observer->on_event(event);
-}
-
-void Grid::audit() const {
-  auto fail = [](const std::string& what) { throw util::SimError("grid audit: " + what); };
-
-  // Replica catalog <-> storage consistency: every catalogued replica is
-  // physically present, and every durable (non-transient) copy of the
-  // world's datasets ... transient copies are permitted to be uncatalogued.
-  for (data::DatasetId d = 0; d < catalog_.size(); ++d) {
-    const auto& holders = replica_catalog_->locations(d);
-    if (holders.empty()) fail("dataset " + std::to_string(d) + " lost its last replica");
-    for (data::SiteIndex s : holders) {
-      if (s >= sites_.size()) fail("replica catalog references an unknown site");
-      if (!sites_[s].storage().contains(d)) {
-        fail("catalogued replica of dataset " + std::to_string(d) + " missing at site " +
-             std::to_string(s));
-      }
-    }
-  }
-
-  // Sites: storage within declared bounds (transient overflow is counted in
-  // storage stats; used_mb may legitimately exceed capacity only then).
-  for (const site::Site& site : sites_) {
-    if (site.storage().stats().overflow_adds == 0 &&
-        site.storage().used_mb() > site.storage().capacity_mb() + util::kEpsilon) {
-      fail("site " + std::to_string(site.index()) + " storage over capacity");
-    }
-    if (site.compute().busy() > site.compute().size()) {
-      fail("site " + std::to_string(site.index()) + " has more busy elements than exist");
-    }
-    if (site.running_count() != site.compute().busy()) {
-      fail("site " + std::to_string(site.index()) +
-           " running-job count disagrees with busy elements");
-    }
-  }
-
-  // Job-state consistency with queues.
-  for (const site::Job& job : jobs_) {
-    if (job.state == site::JobState::Queued) {
-      const auto& q = sites_[job.exec_site].queue();
-      if (std::find(q.begin(), q.end(), job.id) == q.end()) {
-        fail("queued " + job.describe() + " missing from its site queue");
-      }
-    }
-  }
-
-  if (finished_) {
-    for (const site::Site& site : sites_) {
-      if (site.load() != 0) fail("finished run left jobs queued");
-      if (site.running_count() != 0) fail("finished run left jobs running");
-    }
-    std::uint64_t completed = 0;
-    for (const site::Job& job : jobs_) {
-      if (job.state != site::JobState::Completed) fail("finished run left unfinished jobs");
-      ++completed;
-    }
-    if (completed != jobs_.size()) fail("completed-job count mismatch");
-  }
-}
+void Grid::audit() const { audit_grid(*this); }
 
 void Grid::inject_link_degradation(net::LinkId link, util::SimTime at, double scale) {
   CHICSIM_ASSERT_MSG(!ran_, "fault injection must be scheduled before run()");
@@ -394,27 +120,8 @@ void Grid::inject_link_degradation(net::LinkId link, util::SimTime at, double sc
 void Grid::run() {
   CHICSIM_ASSERT_MSG(!ran_, "Grid::run may be called once");
   ran_ = true;
-
-  // Closed loop (paper): all users issue their first submission at t=0
-  // (user order breaks ties); each next job follows its predecessor's
-  // completion. Open loop: per-user Poisson processes, first arrival after
-  // one exponential interval so the t=0 burst disappears.
-  for (const User& user : users_) {
-    site::UserId uid = user.id;
-    if (config_.submission_mode == SubmissionMode::ClosedLoop) {
-      engine_.schedule_at(0.0, [this, uid] { submit_next_job(uid); });
-    } else {
-      engine_.schedule_at(rng_arrivals_.exponential(1.0 / config_.arrival_interval_s),
-                          [this, uid] { submit_next_job(uid); });
-    }
-  }
-
-  // One periodic sweep evaluates every site's Dataset Scheduler, in site
-  // order — equivalent to a per-site DS with a shared phase.
-  ds_timer_ = std::make_unique<sim::PeriodicTimer>(
-      engine_, config_.ds_check_period_s, config_.ds_check_period_s,
-      [this] { evaluate_dataset_schedulers(); });
-
+  lifecycle_->start();
+  replication_->start();
   engine_.run();
   CHICSIM_ASSERT_MSG(finished_, "simulation drained without completing all jobs");
 }
@@ -424,333 +131,14 @@ const RunMetrics& Grid::metrics() const {
   return metrics_;
 }
 
-void Grid::submit_next_job(site::UserId uid) {
-  User& user = users_[uid];
-  const auto& list = workload_->jobs_of(uid);
-  if (user.next_job >= list.size()) return;  // this user is done
-  site::JobId id = list[user.next_job].id;
-  ++user.next_job;
-
-  // Open loop: the next arrival is already in the calendar before this
-  // job's fate is known.
-  if (config_.submission_mode == SubmissionMode::OpenLoop && user.next_job < list.size()) {
-    engine_.schedule_in(rng_arrivals_.exponential(1.0 / config_.arrival_interval_s),
-                        [this, uid] { submit_next_job(uid); });
-  }
-
-  site::Job& job = job_mut(id);
-  CHICSIM_ASSERT(job.state == site::JobState::Created);
-  job.state = site::JobState::Submitted;
-  job.submit_time = now();
-  emit(GridEvent{GridEventType::JobSubmitted, 0.0, id, data::kNoDataset, job.origin_site,
-                 data::kNoSite, 0.0});
-
-  if (config_.es_mapping == EsMapping::Centralized) {
-    // A single scheduler decides for the whole grid, one submission at a
-    // time; each decision costs central_decision_overhead_s, so a burst of
-    // submissions queues up at the scheduler itself.
-    central_queue_.push_back(id);
-    if (!central_busy_) {
-      central_busy_ = true;
-      engine_.schedule_in(config_.central_decision_overhead_s,
-                          [this] { central_process_next(); });
-    }
-    return;
-  }
-  decide_and_dispatch(job);
-}
-
-void Grid::central_process_next() {
-  CHICSIM_ASSERT(!central_queue_.empty());
-  site::JobId id = central_queue_.front();
-  central_queue_.pop_front();
-  decide_and_dispatch(job_mut(id));
-  if (central_queue_.empty()) {
-    central_busy_ = false;
-  } else {
-    engine_.schedule_in(config_.central_decision_overhead_s,
-                        [this] { central_process_next(); });
-  }
-}
-
-void Grid::decide_and_dispatch(site::Job& job) {
-  data::SiteIndex dest = es_->select_site(job, *this, rng_es_);
-  CHICSIM_ASSERT_MSG(dest < sites_.size(), "scheduler chose an invalid site");
-  logger_.lazy(util::LogLevel::Debug,
-               [&] { return job.describe() + " -> site " + std::to_string(dest); });
-  dispatch(job, dest);
-}
-
-void Grid::dispatch(site::Job& job, data::SiteIndex dest) {
-  job.exec_site = dest;
-  job.dispatch_time = now();
-  job.state = site::JobState::Queued;
-  site::Site& site = sites_[dest];
-  site.enqueue(job.id);
-  site.note_job_dispatched();
-  emit(GridEvent{GridEventType::JobDispatched, 0.0, job.id, data::kNoDataset,
-                 job.origin_site, dest, 0.0});
-
-  job.inputs_pending = 0;
-  for (data::DatasetId input : job.inputs) request_input(job, input);
-  if (job.data_ready()) {
-    job.data_ready_time = now();
-    emit(GridEvent{GridEventType::JobDataReady, 0.0, job.id, data::kNoDataset, dest,
-                   data::kNoSite, 0.0});
-  }
-  try_start_jobs(dest);
-}
-
-void Grid::request_input(site::Job& job, data::DatasetId input) {
-  data::SiteIndex dest = job.exec_site;
-  site::Site& site = sites_[dest];
-  if (site.storage().lookup(input)) {
-    // Present locally: hold a reference until the job completes so LRU
-    // cannot evict an input out from under a queued/running job.
-    site.storage().acquire(input);
-    record_access(input, /*source=*/dest, /*client=*/job.origin_site,
-                  /*fetch_dest=*/data::kNoSite);
-    return;
-  }
-
-  ++job.inputs_pending;
-  auto& pending = pending_fetches_[dest];
-  auto it = pending.find(input);
-  if (it != pending.end()) {
-    // A fetch of this dataset toward this site is already in flight; join.
-    it->second.waiters.push_back(job.id);
-    record_access(input, it->second.source, job.origin_site, dest);
-    return;
-  }
-
-  data::SiteIndex source = choose_source(input, dest);
-  record_access(input, source, job.origin_site, dest);
-  ++remote_fetches_;
-  emit(GridEvent{GridEventType::FetchStarted, 0.0, job.id, input, source, dest,
-                 catalog_.size_mb(input)});
-  sites_[source].storage().acquire(input);  // keep the source copy alive
-  PendingFetch fetch;
-  fetch.source = source;
-  fetch.waiters.push_back(job.id);
-  fetch.transfer = transfers_->start(
-      source, dest, catalog_.size_mb(input), net::TransferPurpose::JobFetch,
-      [this, dest, input](net::TransferId) { on_fetch_complete(dest, input); });
-  pending.emplace(input, std::move(fetch));
-}
-
-data::SiteIndex Grid::choose_source(data::DatasetId dataset, data::SiteIndex dest) {
-  const auto& holders = replica_catalog_->locations(dataset);
-  CHICSIM_ASSERT_MSG(!holders.empty(), "fetch of a dataset with no replicas");
-  switch (config_.replica_selection) {
-    case ReplicaSelection::Random: {
-      return holders[rng_fetch_.index(holders.size())];
-    }
-    case ReplicaSelection::Closest: {
-      data::SiteIndex best = holders.front();
-      for (data::SiteIndex h : holders) {
-        std::size_t dh = routing_->hops(h, dest);
-        std::size_t db = routing_->hops(best, dest);
-        if (dh < db || (dh == db && (sites_[h].load() < sites_[best].load() ||
-                                     (sites_[h].load() == sites_[best].load() && h < best)))) {
-          best = h;
-        }
-      }
-      return best;
-    }
-    case ReplicaSelection::LeastLoadedSource: {
-      data::SiteIndex best = holders.front();
-      for (data::SiteIndex h : holders) {
-        std::size_t lh = sites_[h].load();
-        std::size_t lb = sites_[best].load();
-        if (lh < lb || (lh == lb && (routing_->hops(h, dest) < routing_->hops(best, dest) ||
-                                     (routing_->hops(h, dest) == routing_->hops(best, dest) &&
-                                      h < best)))) {
-          best = h;
-        }
-      }
-      return best;
-    }
-  }
-  throw util::SimError("unknown replica selection policy");
-}
-
-void Grid::record_access(data::DatasetId dataset, data::SiteIndex source,
-                         data::SiteIndex client, data::SiteIndex fetch_dest) {
-  sites_[source].popularity().record(dataset, now());
-  if (client != source) ++requester_counts_[source][dataset][client];
-  if (fetch_dest != data::kNoSite && fetch_dest != source) {
-    ReplCtx ctx(*this, source);
-    ds_->on_remote_fetch(ctx, dataset, fetch_dest, rng_ds_);
-  }
-}
-
-void Grid::on_fetch_complete(data::SiteIndex dest, data::DatasetId dataset) {
-  auto& pending = pending_fetches_[dest];
-  auto it = pending.find(dataset);
-  CHICSIM_ASSERT_MSG(it != pending.end(), "fetch completion without pending record");
-  PendingFetch fetch = std::move(it->second);
-  pending.erase(it);
-
-  sites_[fetch.source].storage().release(dataset);
-  emit(GridEvent{GridEventType::FetchCompleted, 0.0,
-                 fetch.waiters.empty() ? site::kNoJob : fetch.waiters.front(), dataset,
-                 fetch.source, dest, catalog_.size_mb(dataset)});
-  store_replica(dest, dataset);
-
-  site::Site& site = sites_[dest];
-  for (site::JobId waiter : fetch.waiters) {
-    site::Job& job = job_mut(waiter);
-    CHICSIM_ASSERT(job.inputs_pending > 0);
-    site.storage().acquire(dataset);
-    --job.inputs_pending;
-    if (job.data_ready()) {
-      job.data_ready_time = now();
-      emit(GridEvent{GridEventType::JobDataReady, 0.0, waiter, data::kNoDataset, dest,
-                     data::kNoSite, 0.0});
-    }
-  }
-  try_start_jobs(dest);
-}
-
-data::StorageManager::AddOutcome Grid::store_replica(data::SiteIndex s,
-                                                     data::DatasetId dataset) {
-  auto outcome = sites_[s].storage().add_replica(dataset, catalog_.size_mb(dataset));
-  for (data::DatasetId evicted : outcome.evicted) {
-    bool removed = replica_catalog_->remove(evicted, s);
-    CHICSIM_ASSERT_MSG(removed, "evicted a replica the catalog did not know");
-    emit(GridEvent{GridEventType::ReplicaEvicted, 0.0, site::kNoJob, evicted, s,
-                   data::kNoSite, catalog_.size_mb(evicted)});
-  }
-  if (outcome.newly_added && !outcome.transient) {
-    replica_catalog_->add(dataset, s);
-    emit(GridEvent{GridEventType::ReplicaStored, 0.0, site::kNoJob, dataset, s,
-                   data::kNoSite, catalog_.size_mb(dataset)});
-  }
-  return outcome;
-}
-
-void Grid::try_start_jobs(data::SiteIndex s) {
-  site::Site& site = sites_[s];
-  auto job_of = [this](site::JobId id) -> const site::Job& { return job(id); };
-  while (site.compute().idle() > 0) {
-    site::JobId next = ls_->pick_next(site.queue(), job_of);
-    if (next == site::kNoJob) break;
-    bool acquired = site.compute().acquire(now());
-    CHICSIM_ASSERT(acquired);
-    site.remove_from_queue(next);
-    site.note_job_started();
-    site::Job& job = job_mut(next);
-    CHICSIM_ASSERT(job.state == site::JobState::Queued && job.data_ready());
-    job.state = site::JobState::Running;
-    job.start_time = now();
-    emit(GridEvent{GridEventType::JobStarted, 0.0, next, data::kNoDataset, s,
-                   data::kNoSite, 0.0});
-    engine_.schedule_in(job.runtime_s / site.speed_factor(),
-                        [this, next] { on_compute_complete(next); });
-  }
-}
-
-void Grid::on_compute_complete(site::JobId id) {
-  site::Job& job = job_mut(id);
-  CHICSIM_ASSERT(job.state == site::JobState::Running);
-  job.compute_done_time = now();
-  emit(GridEvent{GridEventType::JobComputeDone, 0.0, id, data::kNoDataset, job.exec_site,
-                 data::kNoSite, 0.0});
-
-  site::Site& site = sites_[job.exec_site];
-  site.compute().release(now());
-  site.note_job_finished();
-  for (data::DatasetId input : job.inputs) site.storage().release(input);
-  try_start_jobs(job.exec_site);
-
-  // §3: jobs "finally generate a specified set of files". The paper's
-  // experiments treat output as negligible (output_fraction = 0); with the
-  // extension enabled the output travels home before the job counts as
-  // complete (output is archived at the origin, not cached as a replica).
-  if (config_.output_fraction > 0.0 && job.exec_site != job.origin_site) {
-    util::Megabytes output_mb = 0.0;
-    for (data::DatasetId input : job.inputs) output_mb += catalog_.size_mb(input);
-    output_mb *= config_.output_fraction;
-    if (output_mb > 0.0) {
-      job.state = site::JobState::ReturningOutput;
-      transfers_->start(job.exec_site, job.origin_site, output_mb,
-                        net::TransferPurpose::OutputReturn,
-                        [this, id](net::TransferId) { finalize_job(id); });
-      return;
-    }
-  }
-  finalize_job(id);
-}
-
-void Grid::finalize_job(site::JobId id) {
-  site::Job& job = job_mut(id);
-  CHICSIM_ASSERT(job.state == site::JobState::Running ||
-                 job.state == site::JobState::ReturningOutput);
-  job.state = site::JobState::Completed;
-  job.finish_time = now();
-  emit(GridEvent{GridEventType::JobCompleted, 0.0, id, data::kNoDataset, job.exec_site,
-                 job.origin_site, 0.0});
-
-  collector_.record_job(job);
-  ++completed_jobs_;
-
-  // Closed loop: the user submits its next job now.
-  if (config_.submission_mode == SubmissionMode::ClosedLoop) {
-    site::UserId uid = job.user;
-    engine_.schedule_in(0.0, [this, uid] { submit_next_job(uid); });
-  }
-
-  if (completed_jobs_ == jobs_.size()) finish_run();
-}
-
-void Grid::start_replication(data::SiteIndex from, data::DatasetId dataset,
-                             data::SiteIndex dest) {
-  CHICSIM_ASSERT_MSG(dest < sites_.size(), "replication to invalid site");
-  if (dest == from) return;
-  if (replica_catalog_->has(dataset, dest)) return;
-  if (!sites_[from].storage().contains(dataset)) return;
-  std::uint64_t key = push_key(dataset, dest);
-  if (pending_pushes_.count(key) > 0) return;
-  pending_pushes_.insert(key);
-  ++inbound_pushes_[dest];
-  ++replications_started_;
-  emit(GridEvent{GridEventType::ReplicationStarted, 0.0, site::kNoJob, dataset, from, dest,
-                 catalog_.size_mb(dataset)});
-  sites_[from].storage().acquire(dataset);
-  transfers_->start(from, dest, catalog_.size_mb(dataset),
-                    net::TransferPurpose::Replication,
-                    [this, from, dataset, dest, key](net::TransferId) {
-                      pending_pushes_.erase(key);
-                      CHICSIM_ASSERT(inbound_pushes_[dest] > 0);
-                      --inbound_pushes_[dest];
-                      sites_[from].storage().release(dataset);
-                      emit(GridEvent{GridEventType::ReplicationCompleted, 0.0,
-                                     site::kNoJob, dataset, from, dest,
-                                     catalog_.size_mb(dataset)});
-                      auto outcome = store_replica(dest, dataset);
-                      // A push that landed over capacity has no takers (no
-                      // job references it); drop it rather than let it squat
-                      // above the storage budget.
-                      if (outcome.transient) (void)sites_[dest].storage().evict(dataset);
-                      try_start_jobs(dest);
-                    });
-}
-
-void Grid::evaluate_dataset_schedulers() {
-  for (data::SiteIndex s = 0; s < sites_.size(); ++s) {
-    ReplCtx ctx(*this, s);
-    ds_->evaluate(ctx, rng_ds_);
-  }
-}
-
 void Grid::finish_run() {
   finished_ = true;
-  util::SimTime makespan = now();
+  util::SimTime makespan = engine_.now();
   for (auto& site : sites_) site.compute().settle(makespan);
-  if (ds_timer_) ds_timer_->stop();
+  replication_->stop();
   metrics_ = collector_.finalize(makespan, sites_, *transfers_);
-  metrics_.remote_fetches = remote_fetches_;
-  metrics_.replications = replications_started_;
+  metrics_.remote_fetches = fetch_->remote_fetches();
+  metrics_.replications = replication_->replications_started();
   metrics_.events_executed = engine_.events_executed();
   metrics_.event_pushes = engine_.queue().total_pushes();
   metrics_.event_cancels = engine_.queue().total_cancels();

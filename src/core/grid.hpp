@@ -1,35 +1,35 @@
-// The Data Grid driver: builds every substrate from a SimulationConfig,
-// wires the ES/LS/DS policies to the event engine, executes the Data Grid
-// Execution (job submissions, allocations, executions, data movements — §3)
-// and collects the metrics of §5.2.
+// The Data Grid composition root: builds every substrate from a
+// SimulationConfig and wires the four services that together execute the
+// Data Grid Execution (job submissions, allocations, executions, data
+// movements — §3):
 //
-// Event flow for one job (paper semantics):
+//   InfoService        the one GridView — the information-service boundary
+//                      every policy observes the world through, with
+//                      configurable staleness (info_staleness_s)
+//   JobLifecycle       submit -> dispatch -> run -> complete, the per-user
+//                      submission loop and the centralized-ES queue
+//   FetchPlanner       missing-input resolution: transfer initiation and
+//                      pending-fetch bookkeeping ("the data transfer needed
+//                      for a job starts while the job is still in the
+//                      processor queue", §5.2)
+//   ReplicationDriver  the Dataset Scheduler timer, demand signals and
+//                      replication pushes
 //
-//   user submit        -> External Scheduler picks the execution site
-//   dispatch           -> job enters the site queue; fetches for missing
-//                         inputs start IMMEDIATELY ("the data transfer
-//                         needed for a job starts while the job is still in
-//                         the processor queue", §5.2)
-//   data ready + CE    -> Local Scheduler starts the job; it runs for
-//                         runtime_s on one compute element
-//   completion         -> metrics recorded; the job's user submits its next
-//                         job (strict per-user sequence, §5.1)
-//
-// Asynchronously, each site's Dataset Scheduler is evaluated every
-// ds_check_period_s and may push popular datasets to other sites.
-//
-// The Grid also implements GridView — the information-service boundary the
-// policies observe the world through.
+// Services communicate through narrow seams (GridView, JobRunner, the
+// EventBus); the Grid itself only composes them, routes the public API and
+// assembles the final metrics.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/events.hpp"
+#include "core/fetch_planner.hpp"
+#include "core/info_service.hpp"
+#include "core/job_lifecycle.hpp"
 #include "core/metrics.hpp"
+#include "core/replication_driver.hpp"
 #include "core/scheduler.hpp"
 #include "data/catalog.hpp"
 #include "data/replica_catalog.hpp"
@@ -39,12 +39,11 @@
 #include "sim/engine.hpp"
 #include "site/site.hpp"
 #include "util/log.hpp"
-#include "util/rng.hpp"
 #include "workload/generator.hpp"
 
 namespace chicsim::core {
 
-class Grid final : public GridView {
+class Grid final {
  public:
   /// Build the whole world (topology, sites, datasets, placement, workload,
   /// policies) deterministically from the config. Throws util::SimError on
@@ -56,6 +55,7 @@ class Grid final : public GridView {
 
   Grid(const Grid&) = delete;
   Grid& operator=(const Grid&) = delete;
+  ~Grid();
 
   /// Replace a scheduler policy with a user-provided implementation (the
   /// framework's extension point). Must be called before run(); the config
@@ -81,108 +81,44 @@ class Grid final : public GridView {
   /// Metrics of the completed run. Valid after run().
   [[nodiscard]] const RunMetrics& metrics() const;
 
-  /// Audit the grid's cross-component invariants; throws util::SimError
-  /// with a description on the first violation. After run() it additionally
-  /// checks quiescence (empty queues, no running jobs, no busy elements).
-  /// Cheap enough to call from tests after every scenario.
+  /// Audit the grid's cross-component invariants (see core/audit.hpp).
   void audit() const;
 
-  // --- component access (tests, examples, benches) ---
+  // --- the services ---
+  /// The information service: what the policies see. Queries answer from
+  /// the last published snapshot when info_staleness_s > 0 — use the
+  /// ground-truth accessors below to read reality.
+  [[nodiscard]] const InfoService& info() const { return *info_; }
+  [[nodiscard]] JobLifecycle& lifecycle() { return *lifecycle_; }
+  [[nodiscard]] const JobLifecycle& lifecycle() const { return *lifecycle_; }
+  [[nodiscard]] FetchPlanner& fetch_planner() { return *fetch_; }
+  [[nodiscard]] const FetchPlanner& fetch_planner() const { return *fetch_; }
+  [[nodiscard]] ReplicationDriver& replication() { return *replication_; }
+  [[nodiscard]] const ReplicationDriver& replication() const { return *replication_; }
+
+  // --- ground-truth component access (tests, examples, benches) ---
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const net::Topology& topology() const { return topology_; }
   [[nodiscard]] const net::TransferManager& transfers() const { return *transfers_; }
   [[nodiscard]] const data::DatasetCatalog& datasets() const { return catalog_; }
   [[nodiscard]] const data::ReplicaCatalog& replicas() const { return *replica_catalog_; }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
   [[nodiscard]] const site::Site& site_at(data::SiteIndex s) const;
-  [[nodiscard]] const site::Job& job(site::JobId id) const;
+  [[nodiscard]] std::size_t job_count() const { return lifecycle_->job_count(); }
+  [[nodiscard]] const site::Job& job(site::JobId id) const { return lifecycle_->job(id); }
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
   [[nodiscard]] util::Logger& logger() { return logger_; }
+  [[nodiscard]] bool finished() const { return finished_; }
 
   /// Total replication pushes started (diagnostic).
-  [[nodiscard]] std::uint64_t replications_started() const { return replications_started_; }
-
-  // --- GridView (the information service) ---
-  [[nodiscard]] std::size_t num_sites() const override { return sites_.size(); }
-  [[nodiscard]] std::size_t site_load(data::SiteIndex s) const override;
-  [[nodiscard]] std::size_t site_compute_elements(data::SiteIndex s) const override;
-  [[nodiscard]] double site_speed_factor(data::SiteIndex s) const override;
-  [[nodiscard]] const std::vector<data::SiteIndex>& replica_sites(
-      data::DatasetId dataset) const override;
-  [[nodiscard]] bool site_has_dataset(data::SiteIndex s,
-                                      data::DatasetId dataset) const override;
-  [[nodiscard]] util::Megabytes dataset_size_mb(data::DatasetId dataset) const override;
-  [[nodiscard]] std::size_t hops(data::SiteIndex a, data::SiteIndex b) const override;
-  [[nodiscard]] const std::vector<data::SiteIndex>& neighbors(
-      data::SiteIndex s) const override;
-  [[nodiscard]] std::size_t path_congestion(data::SiteIndex a,
-                                            data::SiteIndex b) const override;
-  [[nodiscard]] util::MbPerSec path_bandwidth_mbps(data::SiteIndex a,
-                                                   data::SiteIndex b) const override;
-  [[nodiscard]] util::SimTime now() const override { return engine_.now(); }
+  [[nodiscard]] std::uint64_t replications_started() const {
+    return replication_->replications_started();
+  }
 
  private:
-  struct User {
-    site::UserId id = 0;
-    std::size_t next_job = 0;  ///< index into its workload job list
-  };
-
-  /// A fetch in flight toward one site, shared by all jobs awaiting it.
-  struct PendingFetch {
-    net::TransferId transfer = net::kNoTransfer;
-    data::SiteIndex source = data::kNoSite;
-    std::vector<site::JobId> waiters;
-  };
-
-  class ReplCtx;  // per-site ReplicationContext adapter
-
   void build_world();
-  void place_masters();
-  void instantiate_jobs();
-
-  void submit_next_job(site::UserId user);
-  /// Run the ES decision for one submitted job and dispatch it.
-  void decide_and_dispatch(site::Job& job);
-  /// Centralized mapping: pop and decide the next queued submission.
-  void central_process_next();
-  void dispatch(site::Job& job, data::SiteIndex dest);
-  /// Ensure one input of a queued job is (or becomes) locally available.
-  void request_input(site::Job& job, data::DatasetId input);
-  void on_fetch_complete(data::SiteIndex dest, data::DatasetId dataset);
-  void try_start_jobs(data::SiteIndex s);
-  /// Compute finished: free the processor, release inputs, ship output
-  /// home when the output extension is active.
-  void on_compute_complete(site::JobId id);
-  /// The job is fully done (output landed, if any): record and continue
-  /// the user's closed loop.
-  void finalize_job(site::JobId id);
-
-  /// Source-replica selection for a fetch toward `dest` (replica_selection
-  /// policy; never returns dest).
-  [[nodiscard]] data::SiteIndex choose_source(data::DatasetId dataset, data::SiteIndex dest);
-
-  /// Register an arrived copy at `s`: storage add (with LRU eviction),
-  /// replica-catalog sync. Returns the storage outcome so callers can react
-  /// to transient (over-capacity) placement.
-  data::StorageManager::AddOutcome store_replica(data::SiteIndex s,
-                                                 data::DatasetId dataset);
-
-  /// Record an access to `dataset` served by `source`: popularity at the
-  /// serving site, client book-keeping for DataBestClient (`client` is the
-  /// job's *origin* site — the community generating the demand), and the
-  /// DataFastSpread hook when an actual network fetch toward `fetch_dest`
-  /// is involved (kNoSite for local hits).
-  void record_access(data::DatasetId dataset, data::SiteIndex source,
-                     data::SiteIndex client, data::SiteIndex fetch_dest);
-
-  void start_replication(data::SiteIndex from, data::DatasetId dataset,
-                         data::SiteIndex dest);
-  void evaluate_dataset_schedulers();
+  void wire_services();
   void finish_run();
-
-  [[nodiscard]] site::Job& job_mut(site::JobId id);
-
-  /// Stamp the current virtual time on `event` and fan it out.
-  void emit(GridEvent event);
 
   SimulationConfig config_;
   util::Logger logger_;
@@ -195,45 +131,15 @@ class Grid final : public GridView {
   std::vector<site::Site> sites_;
   std::vector<std::vector<data::SiteIndex>> neighbors_;
   std::unique_ptr<workload::Workload> workload_;
-  std::vector<site::Job> jobs_;  ///< by id-1
-  std::vector<User> users_;
 
-  std::unique_ptr<ExternalScheduler> es_;
-  std::unique_ptr<LocalScheduler> ls_;
-  std::unique_ptr<DatasetScheduler> ds_;
-  std::unique_ptr<sim::PeriodicTimer> ds_timer_;
-
-  /// Centralized ES mapping: submissions awaiting their scheduling decision.
-  std::deque<site::JobId> central_queue_;
-  bool central_busy_ = false;
-
-  /// Per destination site: datasets currently being fetched there.
-  std::vector<std::unordered_map<data::DatasetId, PendingFetch>> pending_fetches_;
-  /// Replication pushes in flight, keyed (dataset, dest) to avoid duplicates.
-  std::unordered_set<std::uint64_t> pending_pushes_;
-  /// In-flight replication pushes per destination site.
-  std::vector<std::size_t> inbound_pushes_;
-  /// Per site: how often each remote site fetched each local dataset.
-  std::vector<std::unordered_map<data::DatasetId,
-                                 std::unordered_map<data::SiteIndex, std::uint64_t>>>
-      requester_counts_;
-
-  util::Rng rng_es_;
-  util::Rng rng_ds_;
-  util::Rng rng_fetch_;
-  util::Rng rng_arrivals_;
-
-  /// Stale-information snapshot (see SimulationConfig::info_staleness_s).
-  mutable std::vector<std::size_t> load_snapshot_;
-  mutable util::SimTime load_snapshot_time_ = -1.0;
-
-  std::vector<GridObserver*> observers_;
+  EventBus bus_;
+  std::unique_ptr<InfoService> info_;
+  std::unique_ptr<ReplicationDriver> replication_;
+  std::unique_ptr<FetchPlanner> fetch_;
+  std::unique_ptr<JobLifecycle> lifecycle_;
 
   MetricsCollector collector_;
   RunMetrics metrics_;
-  std::uint64_t completed_jobs_ = 0;
-  std::uint64_t remote_fetches_ = 0;
-  std::uint64_t replications_started_ = 0;
   bool ran_ = false;
   bool finished_ = false;
 };

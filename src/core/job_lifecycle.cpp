@@ -1,0 +1,230 @@
+#include "core/job_lifecycle.hpp"
+
+#include "core/factory.hpp"
+#include "core/fetch_planner.hpp"
+#include "util/error.hpp"
+
+namespace chicsim::core {
+
+JobLifecycle::JobLifecycle(const SimulationConfig& config, sim::Engine& engine,
+                           util::Logger& logger, std::vector<site::Site>& sites,
+                           const workload::Workload& workload,
+                           net::TransferManager& transfers, FetchPlanner& fetch,
+                           const GridView& view, EventSink& events,
+                           MetricsCollector& collector, std::function<void()> on_all_complete)
+    : config_(config),
+      engine_(engine),
+      logger_(logger),
+      sites_(sites),
+      workload_(workload),
+      transfers_(transfers),
+      fetch_(fetch),
+      view_(view),
+      events_(events),
+      collector_(collector),
+      on_all_complete_(std::move(on_all_complete)),
+      es_(make_external_scheduler(config.es)),
+      ls_(make_local_scheduler(config.ls)),
+      rng_es_(util::Rng::substream(config.seed, "es")),
+      rng_arrivals_(util::Rng::substream(config.seed, "arrivals")) {
+  instantiate_jobs();
+}
+
+void JobLifecycle::set_external_scheduler(std::unique_ptr<ExternalScheduler> es) {
+  CHICSIM_ASSERT_MSG(es != nullptr, "null external scheduler");
+  es_ = std::move(es);
+}
+
+void JobLifecycle::set_local_scheduler(std::unique_ptr<LocalScheduler> ls) {
+  CHICSIM_ASSERT_MSG(ls != nullptr, "null local scheduler");
+  ls_ = std::move(ls);
+}
+
+void JobLifecycle::instantiate_jobs() {
+  jobs_.resize(workload_.total_jobs());
+  for (site::UserId u = 0; u < workload_.num_users(); ++u) {
+    for (const site::Job& tmpl : workload_.jobs_of(u)) {
+      CHICSIM_ASSERT_MSG(tmpl.id >= 1 && tmpl.id <= jobs_.size(),
+                         "workload job ids must be dense in [1, total]");
+      CHICSIM_ASSERT_MSG(tmpl.origin_site < sites_.size(), "job origin site out of range");
+      jobs_[tmpl.id - 1] = tmpl;
+    }
+  }
+  users_.resize(workload_.num_users());
+  for (site::UserId u = 0; u < users_.size(); ++u) users_[u] = User{u, 0};
+}
+
+const site::Job& JobLifecycle::job(site::JobId id) const {
+  CHICSIM_ASSERT_MSG(id >= 1 && id <= jobs_.size(), "job id out of range");
+  return jobs_[id - 1];
+}
+
+site::Job& JobLifecycle::job_mut(site::JobId id) {
+  CHICSIM_ASSERT_MSG(id >= 1 && id <= jobs_.size(), "job id out of range");
+  return jobs_[id - 1];
+}
+
+void JobLifecycle::start() {
+  for (const User& user : users_) {
+    site::UserId uid = user.id;
+    if (config_.submission_mode == SubmissionMode::ClosedLoop) {
+      engine_.schedule_at(0.0, [this, uid] { submit_next_job(uid); });
+    } else {
+      engine_.schedule_at(rng_arrivals_.exponential(1.0 / config_.arrival_interval_s),
+                          [this, uid] { submit_next_job(uid); });
+    }
+  }
+}
+
+void JobLifecycle::submit_next_job(site::UserId uid) {
+  User& user = users_[uid];
+  const auto& list = workload_.jobs_of(uid);
+  if (user.next_job >= list.size()) return;  // this user is done
+  site::JobId id = list[user.next_job].id;
+  ++user.next_job;
+
+  // Open loop: the next arrival is already in the calendar before this
+  // job's fate is known.
+  if (config_.submission_mode == SubmissionMode::OpenLoop && user.next_job < list.size()) {
+    engine_.schedule_in(rng_arrivals_.exponential(1.0 / config_.arrival_interval_s),
+                        [this, uid] { submit_next_job(uid); });
+  }
+
+  site::Job& job = job_mut(id);
+  CHICSIM_ASSERT(job.state == site::JobState::Created);
+  job.state = site::JobState::Submitted;
+  job.submit_time = engine_.now();
+  events_.emit(GridEvent{GridEventType::JobSubmitted, 0.0, id, data::kNoDataset,
+                         job.origin_site, data::kNoSite, 0.0});
+
+  if (config_.es_mapping == EsMapping::Centralized) {
+    // A single scheduler decides for the whole grid, one submission at a
+    // time; each decision costs central_decision_overhead_s, so a burst of
+    // submissions queues up at the scheduler itself.
+    central_queue_.push_back(id);
+    if (!central_busy_) {
+      central_busy_ = true;
+      engine_.schedule_in(config_.central_decision_overhead_s,
+                          [this] { central_process_next(); });
+    }
+    return;
+  }
+  decide_and_dispatch(job);
+}
+
+void JobLifecycle::central_process_next() {
+  CHICSIM_ASSERT(!central_queue_.empty());
+  site::JobId id = central_queue_.front();
+  central_queue_.pop_front();
+  decide_and_dispatch(job_mut(id));
+  if (central_queue_.empty()) {
+    central_busy_ = false;
+  } else {
+    engine_.schedule_in(config_.central_decision_overhead_s,
+                        [this] { central_process_next(); });
+  }
+}
+
+void JobLifecycle::decide_and_dispatch(site::Job& job) {
+  data::SiteIndex dest = es_->select_site(job, view_, rng_es_);
+  CHICSIM_ASSERT_MSG(dest < sites_.size(), "scheduler chose an invalid site");
+  logger_.lazy(util::LogLevel::Debug,
+               [&] { return job.describe() + " -> site " + std::to_string(dest); });
+  dispatch(job, dest);
+}
+
+void JobLifecycle::dispatch(site::Job& job, data::SiteIndex dest) {
+  job.exec_site = dest;
+  job.dispatch_time = engine_.now();
+  job.state = site::JobState::Queued;
+  site::Site& site = sites_[dest];
+  site.enqueue(job.id);
+  site.note_job_dispatched();
+  events_.emit(GridEvent{GridEventType::JobDispatched, 0.0, job.id, data::kNoDataset,
+                         job.origin_site, dest, 0.0});
+
+  job.inputs_pending = 0;
+  for (data::DatasetId input : job.inputs) fetch_.request_input(job, input);
+  if (job.data_ready()) {
+    job.data_ready_time = engine_.now();
+    events_.emit(GridEvent{GridEventType::JobDataReady, 0.0, job.id, data::kNoDataset,
+                           dest, data::kNoSite, 0.0});
+  }
+  try_start_jobs(dest);
+}
+
+void JobLifecycle::try_start_jobs(data::SiteIndex s) {
+  site::Site& site = sites_[s];
+  auto job_of = [this](site::JobId id) -> const site::Job& { return job(id); };
+  while (site.compute().idle() > 0) {
+    site::JobId next = ls_->pick_next(site.queue(), job_of);
+    if (next == site::kNoJob) break;
+    bool acquired = site.compute().acquire(engine_.now());
+    CHICSIM_ASSERT(acquired);
+    site.remove_from_queue(next);
+    site.note_job_started();
+    site::Job& job = job_mut(next);
+    CHICSIM_ASSERT(job.state == site::JobState::Queued && job.data_ready());
+    job.state = site::JobState::Running;
+    job.start_time = engine_.now();
+    events_.emit(GridEvent{GridEventType::JobStarted, 0.0, next, data::kNoDataset, s,
+                           data::kNoSite, 0.0});
+    engine_.schedule_in(job.runtime_s / site.speed_factor(),
+                        [this, next] { on_compute_complete(next); });
+  }
+}
+
+void JobLifecycle::on_compute_complete(site::JobId id) {
+  site::Job& job = job_mut(id);
+  CHICSIM_ASSERT(job.state == site::JobState::Running);
+  job.compute_done_time = engine_.now();
+  events_.emit(GridEvent{GridEventType::JobComputeDone, 0.0, id, data::kNoDataset,
+                         job.exec_site, data::kNoSite, 0.0});
+
+  site::Site& site = sites_[job.exec_site];
+  site.compute().release(engine_.now());
+  site.note_job_finished();
+  for (data::DatasetId input : job.inputs) site.storage().release(input);
+  try_start_jobs(job.exec_site);
+
+  // §3: jobs "finally generate a specified set of files". The paper's
+  // experiments treat output as negligible (output_fraction = 0); with the
+  // extension enabled the output travels home before the job counts as
+  // complete (output is archived at the origin, not cached as a replica).
+  if (config_.output_fraction > 0.0 && job.exec_site != job.origin_site) {
+    util::Megabytes output_mb = 0.0;
+    for (data::DatasetId input : job.inputs) output_mb += view_.dataset_size_mb(input);
+    output_mb *= config_.output_fraction;
+    if (output_mb > 0.0) {
+      job.state = site::JobState::ReturningOutput;
+      transfers_.start(job.exec_site, job.origin_site, output_mb,
+                       net::TransferPurpose::OutputReturn,
+                       [this, id](net::TransferId) { finalize_job(id); });
+      return;
+    }
+  }
+  finalize_job(id);
+}
+
+void JobLifecycle::finalize_job(site::JobId id) {
+  site::Job& job = job_mut(id);
+  CHICSIM_ASSERT(job.state == site::JobState::Running ||
+                 job.state == site::JobState::ReturningOutput);
+  job.state = site::JobState::Completed;
+  job.finish_time = engine_.now();
+  events_.emit(GridEvent{GridEventType::JobCompleted, 0.0, id, data::kNoDataset,
+                         job.exec_site, job.origin_site, 0.0});
+
+  collector_.record_job(job);
+  ++completed_jobs_;
+
+  // Closed loop: the user submits its next job now.
+  if (config_.submission_mode == SubmissionMode::ClosedLoop) {
+    site::UserId uid = job.user;
+    engine_.schedule_in(0.0, [this, uid] { submit_next_job(uid); });
+  }
+
+  if (completed_jobs_ == jobs_.size()) on_all_complete_();
+}
+
+}  // namespace chicsim::core

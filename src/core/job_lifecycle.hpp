@@ -1,0 +1,122 @@
+// The job-lifecycle service: submit → dispatch → run → complete, plus the
+// per-user submission loop (§5.1's strict sequence, or open-loop Poisson
+// arrivals) and the centralized-ES decision queue.
+//
+// Event flow for one job (paper semantics):
+//
+//   user submit        -> External Scheduler picks the execution site
+//   dispatch           -> job enters the site queue; the FetchPlanner
+//                         starts fetches for missing inputs IMMEDIATELY
+//   data ready + CE    -> Local Scheduler starts the job; it runs for
+//                         runtime_s on one compute element
+//   completion         -> metrics recorded; the job's user submits its next
+//                         job (closed loop)
+//
+// The ES observes the world only through the information service; this
+// service owns the job table and drives the machinery.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "core/metrics.hpp"
+#include "core/scheduler.hpp"
+#include "core/service_interfaces.hpp"
+#include "net/transfer_manager.hpp"
+#include "sim/engine.hpp"
+#include "site/site.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace chicsim::core {
+
+class FetchPlanner;
+
+class JobLifecycle final : public JobRunner {
+ public:
+  /// Instantiates the job table from `workload` (ids must be dense in
+  /// [1, total]). References are non-owning and must outlive the service;
+  /// `on_all_complete` fires once, when the last job finalizes. The ES/LS
+  /// policies are built from the config; replace them with the setters.
+  JobLifecycle(const SimulationConfig& config, sim::Engine& engine, util::Logger& logger,
+               std::vector<site::Site>& sites, const workload::Workload& workload,
+               net::TransferManager& transfers, FetchPlanner& fetch, const GridView& view,
+               EventSink& events, MetricsCollector& collector,
+               std::function<void()> on_all_complete);
+
+  void set_external_scheduler(std::unique_ptr<ExternalScheduler> es);
+  void set_local_scheduler(std::unique_ptr<LocalScheduler> ls);
+  [[nodiscard]] const ExternalScheduler& external_scheduler() const { return *es_; }
+  [[nodiscard]] const LocalScheduler& local_scheduler() const { return *ls_; }
+
+  /// Kick off the submission processes. Closed loop: all users issue their
+  /// first submission at t=0 (user order breaks ties). Open loop: per-user
+  /// Poisson processes, first arrival after one exponential interval so the
+  /// t=0 burst disappears.
+  void start();
+
+  // --- job table ---
+  [[nodiscard]] const site::Job& job(site::JobId id) const;
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] std::uint64_t completed_jobs() const { return completed_jobs_; }
+
+  /// Submissions currently queued at the centralized ES (test seam).
+  [[nodiscard]] std::size_t central_queue_depth() const { return central_queue_.size(); }
+
+  // --- JobRunner (the seam the data services poke) ---
+  [[nodiscard]] site::Job& job_mut(site::JobId id) override;
+  void try_start_jobs(data::SiteIndex s) override;
+
+ private:
+  struct User {
+    site::UserId id = 0;
+    std::size_t next_job = 0;  ///< index into its workload job list
+  };
+
+  void instantiate_jobs();
+  void submit_next_job(site::UserId user);
+  /// Centralized mapping: pop and decide the next queued submission.
+  void central_process_next();
+  /// Run the ES decision for one submitted job and dispatch it.
+  void decide_and_dispatch(site::Job& job);
+  void dispatch(site::Job& job, data::SiteIndex dest);
+  /// Compute finished: free the processor, release inputs, ship output
+  /// home when the output extension is active.
+  void on_compute_complete(site::JobId id);
+  /// The job is fully done (output landed, if any): record and continue
+  /// the user's closed loop.
+  void finalize_job(site::JobId id);
+
+  const SimulationConfig& config_;
+  sim::Engine& engine_;
+  util::Logger& logger_;
+  std::vector<site::Site>& sites_;
+  const workload::Workload& workload_;
+  net::TransferManager& transfers_;
+  FetchPlanner& fetch_;
+  const GridView& view_;
+  EventSink& events_;
+  MetricsCollector& collector_;
+  std::function<void()> on_all_complete_;
+
+  std::unique_ptr<ExternalScheduler> es_;
+  std::unique_ptr<LocalScheduler> ls_;
+  util::Rng rng_es_;
+  util::Rng rng_arrivals_;
+
+  std::vector<site::Job> jobs_;  ///< by id-1
+  std::vector<User> users_;
+
+  /// Centralized ES mapping: submissions awaiting their scheduling decision.
+  std::deque<site::JobId> central_queue_;
+  bool central_busy_ = false;
+
+  std::uint64_t completed_jobs_ = 0;
+};
+
+}  // namespace chicsim::core

@@ -1,0 +1,120 @@
+// The Dataset Scheduler driver: owns the DS policy, its periodic
+// evaluation timer, the demand signals it reads (per-site popularity is on
+// the sites; requester counts live here), the replication pushes it starts,
+// and the landing of arrived copies into storage + replica catalog.
+//
+// The DS observes the world only through the information service (its
+// ReplicationContext::view()), but *acts* on ground truth: a push toward a
+// site that already holds the dataset, or of a dataset this site no longer
+// holds, is a no-op regardless of what a stale snapshot claimed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "core/scheduler.hpp"
+#include "core/service_interfaces.hpp"
+#include "data/catalog.hpp"
+#include "data/replica_catalog.hpp"
+#include "data/storage.hpp"
+#include "net/transfer_manager.hpp"
+#include "sim/engine.hpp"
+#include "site/site.hpp"
+#include "util/rng.hpp"
+
+namespace chicsim::core {
+
+class ReplicationDriver final {
+ public:
+  /// References are non-owning and must outlive the driver. The DS policy
+  /// is built from the config; replace it with set_dataset_scheduler.
+  ReplicationDriver(const SimulationConfig& config, sim::Engine& engine,
+                    std::vector<site::Site>& sites, const data::DatasetCatalog& catalog,
+                    data::ReplicaCatalog& replicas, net::TransferManager& transfers,
+                    const GridView& view, EventSink& events);
+  ~ReplicationDriver();
+
+  /// Late wiring for the one cyclic seam (push completions restart jobs).
+  void bind_jobs(JobRunner& jobs);
+
+  void set_dataset_scheduler(std::unique_ptr<DatasetScheduler> ds);
+  [[nodiscard]] const DatasetScheduler& dataset_scheduler() const { return *ds_; }
+
+  /// Arm the periodic sweep: every ds_check_period_s, evaluate every
+  /// site's DS in site order — equivalent to per-site DS instances with a
+  /// shared phase.
+  void start();
+  void stop();
+
+  /// One full sweep (the timer body; callable directly from tests).
+  void evaluate_all();
+
+  /// Record an access to `dataset` served by `source`: popularity at the
+  /// serving site, client book-keeping for DataBestClient (`client` is the
+  /// job's *origin* site — the community generating the demand), and the
+  /// DataFastSpread hook when an actual network fetch toward `fetch_dest`
+  /// is involved (kNoSite for local hits).
+  void note_access(data::DatasetId dataset, data::SiteIndex source,
+                   data::SiteIndex client, data::SiteIndex fetch_dest);
+
+  /// Asynchronously push `dataset` from `from` to `dest`; no-op when the
+  /// destination already holds it, the source lost it, or an identical
+  /// push is already in flight.
+  void start_replication(data::SiteIndex from, data::DatasetId dataset,
+                         data::SiteIndex dest);
+
+  /// Register an arrived copy at `s`: storage add (with LRU eviction),
+  /// replica-catalog sync. Returns the storage outcome so callers can react
+  /// to transient (over-capacity) placement. Shared with the FetchPlanner —
+  /// every copy lands through here, however it travelled.
+  data::StorageManager::AddOutcome store_replica(data::SiteIndex s,
+                                                 data::DatasetId dataset);
+
+  /// Total replication pushes started (diagnostic).
+  [[nodiscard]] std::uint64_t replications_started() const {
+    return replications_started_;
+  }
+
+  /// Replication pushes currently in flight toward `site` (from anywhere).
+  [[nodiscard]] std::size_t inbound_replications(data::SiteIndex site) const;
+
+  /// The remote site whose community demanded `dataset` from `self` most
+  /// often (kNoSite when demand has only ever been local).
+  [[nodiscard]] data::SiteIndex top_requester(data::SiteIndex self,
+                                              data::DatasetId dataset) const;
+
+ private:
+  class Ctx;  // per-site ReplicationContext adapter
+
+  const SimulationConfig& config_;
+  sim::Engine& engine_;
+  std::vector<site::Site>& sites_;
+  const data::DatasetCatalog& catalog_;
+  data::ReplicaCatalog& replicas_;
+  net::TransferManager& transfers_;
+  const GridView& view_;
+  EventSink& events_;
+  JobRunner* jobs_ = nullptr;
+
+  std::unique_ptr<DatasetScheduler> ds_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+  util::Rng rng_ds_;
+
+  /// Replication pushes in flight, keyed (dataset, dest) to avoid duplicates.
+  std::unordered_set<std::uint64_t> pending_pushes_;
+  /// In-flight replication pushes per destination site.
+  std::vector<std::size_t> inbound_pushes_;
+  /// Per site: how often each remote site's community fetched each local dataset.
+  std::vector<std::unordered_map<data::DatasetId,
+                                 std::unordered_map<data::SiteIndex, std::uint64_t>>>
+      requester_counts_;
+
+  std::uint64_t replications_started_ = 0;
+};
+
+}  // namespace chicsim::core

@@ -48,7 +48,7 @@ std::string render_site_table(const Grid& grid) {
   util::TablePrinter table({"site", "CEs", "dispatched", "completed", "utilization",
                             "hit rate", "evictions", "stored (GB)"});
   util::SimTime makespan = grid.metrics().makespan_s;
-  for (data::SiteIndex s = 0; s < grid.num_sites(); ++s) {
+  for (data::SiteIndex s = 0; s < grid.site_count(); ++s) {
     const site::Site& site = grid.site_at(s);
     const auto& st = site.storage().stats();
     double lookups = static_cast<double>(st.hits + st.misses);

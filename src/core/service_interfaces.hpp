@@ -1,0 +1,31 @@
+// Narrow seams between the core services.
+//
+// The paper's architecture (§3) decouples job placement, local dispatch and
+// data replication; the implementation mirrors that with four services
+// (InfoService, JobLifecycle, FetchPlanner, ReplicationDriver) wired
+// together by the Grid composition root. Services see their collaborators
+// only through interfaces this narrow — plus the structured event bus
+// (core/events.hpp) — so each can be unit-tested against a stub and
+// replaced without touching the others.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "site/job.hpp"
+
+namespace chicsim::core {
+
+/// The slice of the job-lifecycle service the data-movement services may
+/// poke: resolve a job id to its mutable record (to decrement pending-input
+/// counts when a fetch lands) and re-run the Local Scheduler after a site's
+/// readiness changed (data arrived, processor freed).
+class JobRunner {
+ public:
+  virtual ~JobRunner() = default;
+
+  [[nodiscard]] virtual site::Job& job_mut(site::JobId id) = 0;
+
+  /// Let the site's Local Scheduler start every queued job it can.
+  virtual void try_start_jobs(data::SiteIndex site) = 0;
+};
+
+}  // namespace chicsim::core

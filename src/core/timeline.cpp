@@ -37,7 +37,7 @@ void TimelineRecorder::sample_now() {
   std::size_t busy = 0;
   std::size_t total = 0;
   std::uint64_t completed = 0;
-  for (data::SiteIndex i = 0; i < grid_.num_sites(); ++i) {
+  for (data::SiteIndex i = 0; i < grid_.site_count(); ++i) {
     const site::Site& site = grid_.site_at(i);
     s.jobs_queued += site.load();
     s.jobs_running += site.running_count();

@@ -39,7 +39,7 @@ TEST(EdgeConfig, OneRegionPerSiteMeansNoSiblings) {
   cfg.ds_neighbor_scope = NeighborScope::Region;
   cfg.ds = DsAlgorithm::DataLeastLoaded;
   Grid grid(cfg);
-  for (data::SiteIndex s = 0; s < 6; ++s) EXPECT_TRUE(grid.neighbors(s).empty());
+  for (data::SiteIndex s = 0; s < 6; ++s) EXPECT_TRUE(grid.info().neighbors(s).empty());
   grid.run();
   EXPECT_EQ(grid.metrics().jobs_completed, 36u);
   EXPECT_EQ(grid.metrics().replications, 0u);  // no known sites to host

@@ -133,12 +133,12 @@ TEST(Grid, DifferentSeedsDifferentWorlds) {
 TEST(Grid, GridViewAnswersAreConsistent) {
   SimulationConfig cfg = small_config();
   Grid grid(cfg);
-  EXPECT_EQ(grid.num_sites(), cfg.num_sites);
+  EXPECT_EQ(grid.info().num_sites(), cfg.num_sites);
   for (data::DatasetId d = 0; d < grid.datasets().size(); ++d) {
-    const auto& sites = grid.replica_sites(d);
+    const auto& sites = grid.info().replica_sites(d);
     ASSERT_EQ(sites.size(), 1u);
-    EXPECT_TRUE(grid.site_has_dataset(sites[0], d));
-    EXPECT_DOUBLE_EQ(grid.dataset_size_mb(d), grid.datasets().size_mb(d));
+    EXPECT_TRUE(grid.info().site_has_dataset(sites[0], d));
+    EXPECT_DOUBLE_EQ(grid.info().dataset_size_mb(d), grid.datasets().size_mb(d));
     // The holder's storage backs the catalog claim.
     EXPECT_TRUE(grid.site_at(sites[0]).storage().contains(d));
   }
@@ -149,7 +149,7 @@ TEST(Grid, NeighborsGridScopeListsEveryoneElse) {
   cfg.ds_neighbor_scope = NeighborScope::Grid;
   Grid grid(cfg);
   for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) {
-    EXPECT_EQ(grid.neighbors(s).size(), cfg.num_sites - 1);
+    EXPECT_EQ(grid.info().neighbors(s).size(), cfg.num_sites - 1);
   }
 }
 
@@ -158,8 +158,8 @@ TEST(Grid, NeighborsRegionScopeListsSiblings) {
   cfg.ds_neighbor_scope = NeighborScope::Region;
   Grid grid(cfg);
   for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) {
-    ASSERT_EQ(grid.neighbors(s).size(), 1u);
-    EXPECT_EQ(grid.neighbors(s)[0] % cfg.num_regions, s % cfg.num_regions);
+    ASSERT_EQ(grid.info().neighbors(s).size(), 1u);
+    EXPECT_EQ(grid.info().neighbors(s)[0] % cfg.num_regions, s % cfg.num_regions);
   }
 }
 
@@ -167,9 +167,9 @@ TEST(Grid, HopsMatchHierarchy) {
   SimulationConfig cfg = small_config();
   Grid grid(cfg);
   // Sites 0 and 3 share region 0 (6 sites round-robin over 3 regions).
-  EXPECT_EQ(grid.hops(0, 3), 2u);
-  EXPECT_EQ(grid.hops(0, 1), 4u);
-  EXPECT_EQ(grid.hops(2, 2), 0u);
+  EXPECT_EQ(grid.info().hops(0, 3), 2u);
+  EXPECT_EQ(grid.info().hops(0, 1), 4u);
+  EXPECT_EQ(grid.info().hops(2, 2), 0u);
 }
 
 TEST(Grid, StarTopologyRunsAndFlattensNeighbourhoods) {
@@ -180,10 +180,10 @@ TEST(Grid, StarTopologyRunsAndFlattensNeighbourhoods) {
   // One hub + 6 sites.
   EXPECT_EQ(grid.topology().node_count(), 7u);
   for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) {
-    EXPECT_EQ(grid.neighbors(s).size(), cfg.num_sites - 1);
+    EXPECT_EQ(grid.info().neighbors(s).size(), cfg.num_sites - 1);
     for (data::SiteIndex t = 0; t < cfg.num_sites; ++t) {
       if (t != s) {
-        EXPECT_EQ(grid.hops(s, t), 2u);
+        EXPECT_EQ(grid.info().hops(s, t), 2u);
       }
     }
   }

@@ -1,6 +1,8 @@
-// Tests of the information-service semantics of GridView: exact load with
-// staleness 0, epoch-snapshot load with staleness > 0, and the network
-// occupancy metrics derived from link busy-time integrals.
+// Tests of the information-service semantics of core::InfoService (reached
+// through its grid.info() seam): exact load with staleness 0, epoch-snapshot
+// load with staleness > 0, and the network occupancy metrics derived from
+// link busy-time integrals. Replica-location staleness is covered in
+// test_services.cpp.
 #include <gtest/gtest.h>
 
 #include "core/grid.hpp"
@@ -26,14 +28,14 @@ TEST(InfoService, ExactModeTracksLiveQueues) {
   Grid grid(cfg);
   // Pre-run: loads are zero and the view must agree at all times.
   for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) {
-    EXPECT_EQ(grid.site_load(s), grid.site_at(s).load());
+    EXPECT_EQ(grid.info().site_load(s), grid.site_at(s).load());
   }
   // Probe live agreement mid-run.
   int checks = 0;
   for (double t : {100.0, 1000.0, 3000.0}) {
     grid.engine().schedule_at(t, [&grid, &cfg, &checks] {
       for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) {
-        ASSERT_EQ(grid.site_load(s), grid.site_at(s).load());
+        ASSERT_EQ(grid.info().site_load(s), grid.site_at(s).load());
       }
       ++checks;
     });
@@ -51,10 +53,10 @@ TEST(InfoService, StaleModeFreezesLoadsWithinAnEpoch) {
   std::vector<std::size_t> first;
   std::vector<std::size_t> second;
   grid.engine().schedule_at(600.0, [&] {
-    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) first.push_back(grid.site_load(s));
+    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) first.push_back(grid.info().site_load(s));
   });
   grid.engine().schedule_at(990.0, [&] {
-    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) second.push_back(grid.site_load(s));
+    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) second.push_back(grid.info().site_load(s));
   });
   grid.run();
   ASSERT_EQ(first.size(), second.size());
@@ -71,10 +73,10 @@ TEST(InfoService, StaleSnapshotsRefreshAcrossEpochs) {
   std::vector<std::size_t> early;
   std::vector<std::size_t> late;
   grid.engine().schedule_at(250.0, [&] {
-    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) early.push_back(grid.site_load(s));
+    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) early.push_back(grid.info().site_load(s));
   });
   grid.engine().schedule_at(5000.0, [&] {
-    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) late.push_back(grid.site_load(s));
+    for (data::SiteIndex s = 0; s < cfg.num_sites; ++s) late.push_back(grid.info().site_load(s));
   });
   grid.run();
   ASSERT_FALSE(early.empty());

@@ -1,0 +1,148 @@
+// A/B equivalence anchor for the service decomposition: the refactored
+// engine must be *bit-identical* to the pre-refactor monolithic Grid.
+//
+// The goldens below were captured by running the monolith (commit 9fabf88)
+// over the full 4x3 paper algorithm matrix, two seeds each, with exact
+// information (info_staleness_s = 0); metrics are recorded as hexfloats so
+// the comparison is exact, not within-epsilon. Any drift in event order,
+// RNG draw order or arithmetic shows up here first.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/experiment.hpp"
+
+namespace chicsim::core {
+namespace {
+
+struct GoldenRow {
+  EsAlgorithm es;
+  DsAlgorithm ds;
+  std::uint64_t seed;
+  double makespan_s;
+  double avg_response_time_s;
+  double avg_data_per_job_mb;
+  double avg_queue_wait_s;
+  std::uint64_t remote_fetches;
+  std::uint64_t replications;
+  std::uint64_t events_executed;
+};
+
+// clang-format off
+const GoldenRow kGolden[] = {
+    {EsAlgorithm::JobRandom, DsAlgorithm::DataDoNothing, 1,
+     0x1.3c42c5ba1a0edp+12, 0x1.1525471133c79p+9, 0x1.6133c7ed2755dp+9,
+     0x1.a1784131153cbp+7, 37, 0, 188},
+    {EsAlgorithm::JobRandom, DsAlgorithm::DataDoNothing, 2,
+     0x1.3b8b50ee8e332p+12, 0x1.1f1f0c893e8d6p+9, 0x1.4983eee4c3fecp+9,
+     0x1.e94d9659ae72ap+7, 37, 0, 188},
+    {EsAlgorithm::JobRandom, DsAlgorithm::DataRandom, 1,
+     0x1.54aee2bb78b57p+12, 0x1.23caa5f6b4b3cp+9, 0x1.9ff45a8d90c7ap+9,
+     0x1.dc0dbcc718edp+7, 33, 10, 196},
+    {EsAlgorithm::JobRandom, DsAlgorithm::DataRandom, 2,
+     0x1.627b2abe8c79fp+12, 0x1.27944b7f3588fp+9, 0x1.7fe06253958dfp+9,
+     0x1.05914918c5301p+8, 35, 8, 196},
+    {EsAlgorithm::JobRandom, DsAlgorithm::DataLeastLoaded, 1,
+     0x1.5f784076f2825p+12, 0x1.2d0d76d562c5fp+9, 0x1.967a8ab294075p+9,
+     0x1.008c8020e89aep+8, 34, 8, 195},
+    {EsAlgorithm::JobRandom, DsAlgorithm::DataLeastLoaded, 2,
+     0x1.70968f86afda1p+12, 0x1.2ae919eae42ebp+9, 0x1.853d82b672b72p+9,
+     0x1.0c3ae5f0227cp+8, 35, 8, 197},
+    {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataDoNothing, 1,
+     0x1.43b719d7067f7p+12, 0x1.20bcc5fe12676p+9, 0x1.6cec013ae8004p+9,
+     0x1.cfd63ce48fbc1p+7, 37, 0, 189},
+    {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataDoNothing, 2,
+     0x1.33a05b6eb30a2p+12, 0x1.05fcd2edc3d42p+9, 0x1.6a85e7055fcaep+9,
+     0x1.84c4afebc38dp+7, 40, 0, 191},
+    {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataRandom, 1,
+     0x1.3dec2700b3d89p+12, 0x1.1de534f4640a8p+9, 0x1.85105eb69bbeep+9,
+     0x1.c477f8bdd6487p+7, 32, 9, 192},
+    {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataRandom, 2,
+     0x1.2f2ae16971ad1p+12, 0x1.09c7831fc064bp+9, 0x1.517bd51c98bf9p+9,
+     0x1.93ef70b3b5cf6p+7, 32, 6, 189},
+    {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataLeastLoaded, 1,
+     0x1.46314865d6effp+12, 0x1.23edf2ec6b717p+9, 0x1.ac312e4020df5p+9,
+     0x1.dc9af09df3e37p+7, 35, 9, 196},
+    {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataLeastLoaded, 2,
+     0x1.374daa1c6e043p+12, 0x1.08523546e3519p+9, 0x1.4cc6681aa2a96p+9,
+     0x1.8e1a395041837p+7, 31, 7, 189},
+    {EsAlgorithm::JobDataPresent, DsAlgorithm::DataDoNothing, 1,
+     0x1.9177f070e57cp+11, 0x1.6985cdd0b6d62p+8, 0x0p+0,
+     0x1.feec08db3ca9ep+3, 0, 0, 145},
+    {EsAlgorithm::JobDataPresent, DsAlgorithm::DataDoNothing, 2,
+     0x1.192170e1e4dc3p+12, 0x1.baa36cbc0e099p+8, 0x0p+0,
+     0x1.c4307b59a09fep+6, 0, 0, 149},
+    {EsAlgorithm::JobDataPresent, DsAlgorithm::DataRandom, 1,
+     0x1.9177f070e57cp+11, 0x1.663627e1dacacp+8, 0x1.20e476e0623d6p+8,
+     0x1.94f74affbb3e9p+3, 0, 16, 161},
+    {EsAlgorithm::JobDataPresent, DsAlgorithm::DataRandom, 2,
+     0x1.07afb405698ebp+12, 0x1.c274edeba0d81p+8, 0x1.a7e8b45881124p+7,
+     0x1.e3768017ebd9dp+6, 0, 13, 162},
+    {EsAlgorithm::JobDataPresent, DsAlgorithm::DataLeastLoaded, 1,
+     0x1.9177f070e57cp+11, 0x1.663627e1dacacp+8, 0x1.20e476e0623d6p+8,
+     0x1.94f74affbb3e9p+3, 0, 16, 161},
+    {EsAlgorithm::JobDataPresent, DsAlgorithm::DataLeastLoaded, 2,
+     0x1.01b31e72ae08p+12, 0x1.a791cddbbf64bp+8, 0x1.a7e8b45881124p+7,
+     0x1.77e9ffd8660c8p+6, 0, 13, 161},
+    {EsAlgorithm::JobLocal, DsAlgorithm::DataDoNothing, 1,
+     0x1.1c30eb1bdf17dp+12, 0x1.00295b8c7f904p+9, 0x1.1890fcb61ee4dp+9,
+     0x1.4d88931e445ecp+7, 31, 0, 181},
+    {EsAlgorithm::JobLocal, DsAlgorithm::DataDoNothing, 2,
+     0x1.1e82ab584d9e6p+12, 0x1.e52d21f42c7ddp+8, 0x1.285749c97aa9dp+9,
+     0x1.372ba81d0d388p+7, 32, 0, 182},
+    {EsAlgorithm::JobLocal, DsAlgorithm::DataRandom, 1,
+     0x1.2948ca58025bcp+12, 0x1.09734ddf221b6p+9, 0x1.5e9555d355f1ep+9,
+     0x1.72b05c68ce8c3p+7, 30, 9, 189},
+    {EsAlgorithm::JobLocal, DsAlgorithm::DataRandom, 2,
+     0x1.358c745a0b7f8p+12, 0x1.f37f9e1012cc6p+8, 0x1.652d2e6fd308dp+9,
+     0x1.53d0a054d9d5dp+7, 32, 7, 190},
+    {EsAlgorithm::JobLocal, DsAlgorithm::DataLeastLoaded, 1,
+     0x1.2948ca58025bcp+12, 0x1.09734ddf221b6p+9, 0x1.5e9555d355f1ep+9,
+     0x1.72b05c68ce8c3p+7, 30, 9, 189},
+    {EsAlgorithm::JobLocal, DsAlgorithm::DataLeastLoaded, 2,
+     0x1.2cdd787a9116dp+12, 0x1.022344c22f9b9p+9, 0x1.5cc5d4b7fc42p+9,
+     0x1.755e773d72ab7p+7, 32, 6, 189},
+};
+// clang-format on
+
+SimulationConfig golden_config() {
+  SimulationConfig cfg;
+  cfg.num_users = 8;
+  cfg.num_sites = 4;
+  cfg.num_regions = 2;
+  cfg.num_datasets = 20;
+  cfg.total_jobs = 64;
+  cfg.storage_capacity_mb = 15000.0;
+  cfg.replication_threshold = 3.0;
+  cfg.info_staleness_s = 0.0;  // exact information: the bit-identity anchor
+  return cfg;
+}
+
+TEST(RefactorEquivalence, MatrixIsBitIdenticalToMonolithGoldens) {
+  ExperimentRunner runner(golden_config(), {1, 2});
+  auto cells = runner.run_matrix(paper_es_algorithms(), paper_ds_algorithms());
+
+  std::size_t row = 0;
+  for (const auto& cell : cells) {
+    for (std::size_t s = 0; s < cell.per_seed.size(); ++s, ++row) {
+      ASSERT_LT(row, std::size(kGolden));
+      const GoldenRow& g = kGolden[row];
+      ASSERT_EQ(cell.es, g.es);
+      ASSERT_EQ(cell.ds, g.ds);
+      const RunMetrics& m = cell.per_seed[s];
+      SCOPED_TRACE(std::string(to_string(g.es)) + "/" + to_string(g.ds) + " seed " +
+                   std::to_string(g.seed));
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: equivalence means the same bits.
+      EXPECT_EQ(m.makespan_s, g.makespan_s);
+      EXPECT_EQ(m.avg_response_time_s, g.avg_response_time_s);
+      EXPECT_EQ(m.avg_data_per_job_mb, g.avg_data_per_job_mb);
+      EXPECT_EQ(m.avg_queue_wait_s, g.avg_queue_wait_s);
+      EXPECT_EQ(m.remote_fetches, g.remote_fetches);
+      EXPECT_EQ(m.replications, g.replications);
+      EXPECT_EQ(m.events_executed, g.events_executed);
+    }
+  }
+  EXPECT_EQ(row, std::size(kGolden));
+}
+
+}  // namespace
+}  // namespace chicsim::core

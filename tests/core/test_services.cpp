@@ -1,0 +1,184 @@
+// Unit tests for the decomposed service layer: each service is exercised
+// through its own seam (Grid only composes them). The A/B anchor in
+// test_refactor_equivalence.cpp proves the composition equals the old
+// monolith; these tests pin each service's behavior in isolation.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/experiment.hpp"
+#include "core/grid.hpp"
+
+namespace chicsim::core {
+namespace {
+
+SimulationConfig service_config() {
+  SimulationConfig cfg;
+  cfg.num_users = 8;
+  cfg.num_sites = 4;
+  cfg.num_regions = 2;
+  cfg.num_datasets = 20;
+  cfg.total_jobs = 64;
+  cfg.storage_capacity_mb = 15000.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// --- FetchPlanner ---
+
+TEST(FetchPlanner, SingleReplicaForcesTheOnlySource) {
+  SimulationConfig cfg = service_config();
+  Grid grid(cfg);
+  // Masters are the only replicas pre-run: every policy must pick the holder.
+  for (data::DatasetId d = 0; d < grid.datasets().size(); ++d) {
+    data::SiteIndex holder = grid.replicas().locations(d).front();
+    for (data::SiteIndex dest = 0; dest < grid.site_count(); ++dest) {
+      EXPECT_EQ(grid.fetch_planner().choose_source(d, dest), holder);
+    }
+  }
+}
+
+TEST(FetchPlanner, PendingFetchesStartEmptyAndDrainByTheEnd) {
+  SimulationConfig cfg = service_config();
+  cfg.es = EsAlgorithm::JobRandom;  // guarantees remote placement
+  Grid grid(cfg);
+  for (data::SiteIndex s = 0; s < grid.site_count(); ++s) {
+    EXPECT_EQ(grid.fetch_planner().pending_fetches(s), 0u);
+  }
+  grid.run();
+  for (data::SiteIndex s = 0; s < grid.site_count(); ++s) {
+    EXPECT_EQ(grid.fetch_planner().pending_fetches(s), 0u);
+  }
+  EXPECT_GT(grid.fetch_planner().remote_fetches(), 0u);
+  EXPECT_EQ(grid.fetch_planner().remote_fetches(), grid.metrics().remote_fetches);
+}
+
+// --- ReplicationDriver ---
+
+TEST(ReplicationDriver, StoreReplicaSyncsTheCatalog) {
+  SimulationConfig cfg = service_config();
+  Grid grid(cfg);
+  data::DatasetId d = 0;
+  data::SiteIndex holder = grid.replicas().locations(d).front();
+  auto other = static_cast<data::SiteIndex>((holder + 1) % grid.site_count());
+  ASSERT_FALSE(grid.replicas().has(d, other));
+  auto outcome = grid.replication().store_replica(other, d);
+  EXPECT_TRUE(outcome.newly_added);
+  EXPECT_TRUE(grid.replicas().has(d, other));
+  EXPECT_TRUE(grid.site_at(other).storage().contains(d));
+  grid.audit();
+}
+
+TEST(ReplicationDriver, StartReplicationSkipsPointlessPushes) {
+  SimulationConfig cfg = service_config();
+  Grid grid(cfg);
+  data::DatasetId d = 0;
+  data::SiteIndex holder = grid.replicas().locations(d).front();
+  auto other = static_cast<data::SiteIndex>((holder + 1) % grid.site_count());
+  // To itself, from a non-holder, and toward an existing holder: all no-ops.
+  grid.replication().start_replication(holder, d, holder);
+  grid.replication().start_replication(other, d, holder);
+  grid.replication().start_replication(holder, d, holder);
+  EXPECT_EQ(grid.replications_started(), 0u);
+  // A real push counts once; the duplicate is coalesced while in flight.
+  grid.replication().start_replication(holder, d, other);
+  grid.replication().start_replication(holder, d, other);
+  EXPECT_EQ(grid.replications_started(), 1u);
+  EXPECT_EQ(grid.replication().inbound_replications(other), 1u);
+}
+
+TEST(ReplicationDriver, TopRequesterTracksTheDominantCommunity) {
+  SimulationConfig cfg = service_config();
+  Grid grid(cfg);
+  data::DatasetId d = 3;
+  data::SiteIndex holder = grid.replicas().locations(d).front();
+  auto a = static_cast<data::SiteIndex>((holder + 1) % grid.site_count());
+  auto b = static_cast<data::SiteIndex>((holder + 2) % grid.site_count());
+  EXPECT_EQ(grid.replication().top_requester(holder, d), data::kNoSite);
+  grid.replication().note_access(d, holder, a, data::kNoSite);
+  grid.replication().note_access(d, holder, a, data::kNoSite);
+  grid.replication().note_access(d, holder, b, data::kNoSite);
+  EXPECT_EQ(grid.replication().top_requester(holder, d), a);
+  // Purely local demand never registers a requester.
+  grid.replication().note_access(d, holder, holder, data::kNoSite);
+  EXPECT_EQ(grid.replication().top_requester(holder, d), a);
+}
+
+// --- JobLifecycle ---
+
+TEST(JobLifecycle, InstantiatesTheJobTableDense) {
+  SimulationConfig cfg = service_config();
+  Grid grid(cfg);
+  EXPECT_EQ(grid.job_count(), cfg.total_jobs);
+  EXPECT_EQ(grid.lifecycle().completed_jobs(), 0u);
+  for (site::JobId id = 1; id <= grid.job_count(); ++id) {
+    EXPECT_EQ(grid.job(id).id, id);
+    EXPECT_EQ(grid.job(id).state, site::JobState::Created);
+  }
+}
+
+TEST(JobLifecycle, CompletesEveryJobAndDrainsTheCentralQueue) {
+  SimulationConfig cfg = service_config();
+  cfg.es_mapping = EsMapping::Centralized;
+  Grid grid(cfg);
+  EXPECT_EQ(grid.lifecycle().central_queue_depth(), 0u);
+  grid.run();
+  EXPECT_EQ(grid.lifecycle().central_queue_depth(), 0u);
+  EXPECT_EQ(grid.lifecycle().completed_jobs(), cfg.total_jobs);
+  for (site::JobId id = 1; id <= grid.job_count(); ++id) {
+    EXPECT_EQ(grid.job(id).state, site::JobState::Completed);
+  }
+  grid.audit();
+}
+
+// --- InfoService staleness across the service seams ---
+
+TEST(InfoService, StaleReplicaViewLagsGroundTruth) {
+  SimulationConfig cfg = service_config();
+  cfg.info_staleness_s = 300.0;
+  Grid grid(cfg);
+  data::DatasetId d = 0;
+  data::SiteIndex holder = grid.replicas().locations(d).front();
+  auto other = static_cast<data::SiteIndex>((holder + 1) % grid.site_count());
+
+  // First query publishes the epoch-0 snapshot: one master per dataset.
+  ASSERT_EQ(grid.info().replica_sites(d).size(), 1u);
+  // A copy lands (ground truth changes) inside the same epoch...
+  grid.replication().store_replica(other, d);
+  ASSERT_TRUE(grid.replicas().has(d, other));
+  // ...but the policies keep seeing the pre-refresh directory state.
+  EXPECT_EQ(grid.info().replica_sites(d).size(), 1u);
+  EXPECT_FALSE(grid.info().site_has_dataset(other, d));
+  EXPECT_TRUE(grid.info().site_has_dataset(holder, d));
+}
+
+TEST(InfoService, ExactReplicaViewTracksGroundTruthLive) {
+  SimulationConfig cfg = service_config();
+  cfg.info_staleness_s = 0.0;
+  Grid grid(cfg);
+  data::DatasetId d = 0;
+  data::SiteIndex holder = grid.replicas().locations(d).front();
+  auto other = static_cast<data::SiteIndex>((holder + 1) % grid.site_count());
+  grid.replication().store_replica(other, d);
+  EXPECT_EQ(grid.info().replica_sites(d).size(), 2u);
+  EXPECT_TRUE(grid.info().site_has_dataset(other, d));
+}
+
+TEST(InfoService, StaleMatrixCompletesWithSaneMetrics) {
+  SimulationConfig cfg = service_config();
+  cfg.info_staleness_s = 240.0;
+  ExperimentRunner runner(cfg, {1});
+  auto cells = runner.run_matrix(paper_es_algorithms(), paper_ds_algorithms());
+  ASSERT_EQ(cells.size(),
+            paper_es_algorithms().size() * paper_ds_algorithms().size());
+  for (const auto& cell : cells) {
+    EXPECT_GT(cell.makespan_s, 0.0);
+    EXPECT_GT(cell.avg_response_time_s, 0.0);
+    EXPECT_GE(cell.makespan_s, cell.avg_response_time_s);
+    for (const RunMetrics& m : cell.per_seed) {
+      EXPECT_EQ(m.jobs_completed, cfg.total_jobs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chicsim::core
