@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   util::CliParser cli("bench_fig3_response_and_data",
                       "reproduce Figure 3a (response time) and 3b (data per job)");
   bench::add_standard_options(cli);
+  bench::add_observability_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   core::SimulationConfig cfg = bench::config_from_cli(cli);
@@ -135,5 +136,10 @@ int main(int argc, char** argv) {
                "no significant difference between DataRandom and DataLeastLoaded");
 
   checks.check(worst_cv < 0.25, "cross-seed variation is small");
+
+  // Optional deep-dive into the paper's winning cell: Chrome trace,
+  // per-site/per-link metrics, per-job spans, wall-clock profile.
+  bench::maybe_run_observed_cell(cli, cfg, EsAlgorithm::JobDataPresent,
+                                 DsAlgorithm::DataRandom);
   return checks.finish();
 }

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "data/storage.hpp"
 #include "net/transfer_manager.hpp"
 #include "sim/engine.hpp"
+#include "sim/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -240,6 +242,26 @@ void write_mode_json(std::ofstream& out, const char* key, const ChurnResult& r,
       << "    }" << trailing_comma << "\n";
 }
 
+/// One profiled full Table-1 simulation: returns the EngineProfiler's JSON
+/// report (per-event-type handler-time breakdown plus events/sec) for the
+/// "profile" section of BENCH_engine.json.
+std::string run_profiled_simulation() {
+  core::SimulationConfig cfg;
+  cfg.es = core::EsAlgorithm::JobDataPresent;
+  cfg.ds = core::DsAlgorithm::DataLeastLoaded;
+  core::Grid grid(cfg);
+  sim::EngineProfiler profiler;
+  grid.engine().set_profiler(&profiler);
+  grid.run();
+  std::printf("\nprofiled full simulation (%zu jobs, JobDataPresent+DataLeastLoaded):\n%s",
+              cfg.total_jobs, profiler.render_table().c_str());
+  std::ostringstream os;
+  profiler.write_json(os);
+  std::string json = os.str();
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) json.pop_back();
+  return json;
+}
+
 int run_engine_json(const std::string& path) {
   constexpr std::size_t kFlows = 2048;
   constexpr int kRepeats = 3;
@@ -266,6 +288,8 @@ int run_engine_json(const std::string& path) {
   std::printf("incremental vs legacy speedup: %.2fx  [%s] (target: >= 2x)\n", speedup,
               pass ? "PASS" : "FAIL");
 
+  std::string profile_json = run_profiled_simulation();
+
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write --engine-json file: %s\n", path.c_str());
@@ -282,6 +306,7 @@ int run_engine_json(const std::string& path) {
   write_mode_json(out, "full", full, ",");
   write_mode_json(out, "incremental", incr, "");
   out << "  },\n"
+      << "  \"profile\": " << profile_json << ",\n"
       << "  \"speedup_events_per_sec\": " << speedup << ",\n"
       << "  \"pass_2x\": " << (pass ? "true" : "false") << "\n"
       << "}\n";

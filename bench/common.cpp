@@ -3,7 +3,13 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/grid.hpp"
 #include "core/report.hpp"
+#include "core/site_metrics.hpp"
+#include "core/spans.hpp"
+#include "core/timeline.hpp"
+#include "core/trace_export.hpp"
+#include "sim/profiler.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -19,6 +25,74 @@ void add_standard_options(util::CliParser& cli) {
                  "worker threads for the run matrix (1 = serial, 0 = all hardware threads)");
   cli.add_option("csv", "", "write raw cell metrics to this CSV file");
   cli.add_option("svg-prefix", "", "write the figure(s) as <prefix><name>.svg");
+}
+
+void add_observability_options(util::CliParser& cli) {
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace (Perfetto-loadable JSON) of one observed cell");
+  cli.add_option("site-metrics-out", "",
+                 "write per-site/per-link metrics of one observed cell (.json or CSV)");
+  cli.add_option("spans-csv", "", "write the per-job span table of one observed cell");
+  cli.add_option("profile", "", "print a wall-clock event-loop profile (any value enables)");
+}
+
+namespace {
+std::ofstream open_output(const std::string& path, const char* flag) {
+  std::ofstream out(path);
+  if (!out) throw util::SimError(std::string("cannot write ") + flag + " file: " + path);
+  return out;
+}
+}  // namespace
+
+void maybe_run_observed_cell(const util::CliParser& cli, core::SimulationConfig config,
+                             core::EsAlgorithm es, core::DsAlgorithm ds) {
+  std::string trace_out = cli.get("trace-out");
+  std::string metrics_out = cli.get("site-metrics-out");
+  std::string spans_csv = cli.get("spans-csv");
+  bool profile = !cli.get("profile").empty();
+  if (trace_out.empty() && metrics_out.empty() && spans_csv.empty() && !profile) return;
+
+  config.es = es;
+  config.ds = ds;
+  config.seed = seeds_from_cli(cli).front();
+  std::printf("\nobserved cell: es=%s ds=%s seed=%llu\n", core::to_string(es),
+              core::to_string(ds), static_cast<unsigned long long>(config.seed));
+
+  core::Grid grid(config);
+  core::SpanBuilder spans;
+  core::SiteMetricsObserver site_metrics(grid.topology(), &grid.routing());
+  grid.add_observer(&spans);
+  grid.add_observer(&site_metrics);
+  core::TimelineRecorder timeline(grid, 60.0);
+  sim::EngineProfiler profiler;
+  if (profile) grid.engine().set_profiler(&profiler);
+  grid.run();
+
+  if (!trace_out.empty()) {
+    auto out = open_output(trace_out, "--trace-out");
+    core::write_chrome_trace(out, spans, grid.topology(), grid.site_count(),
+                             &grid.routing(), timeline.samples());
+    std::printf("chrome trace written to %s (load in ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    auto out = open_output(metrics_out, "--site-metrics-out");
+    if (metrics_out.ends_with(".json")) {
+      site_metrics.registry().write_json(out);
+    } else {
+      site_metrics.registry().write_csv(out);
+    }
+    std::printf("site/link metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!spans_csv.empty()) {
+    auto out = open_output(spans_csv, "--spans-csv");
+    spans.write_csv(out);
+    std::printf("per-job spans written to %s\n", spans_csv.c_str());
+  }
+  if (profile) {
+    std::printf("\nwall-clock event-loop profile (observed cell):\n%s",
+                profiler.render_table().c_str());
+  }
 }
 
 util::GroupedBarChart make_matrix_chart(

@@ -21,6 +21,19 @@ namespace chicsim::bench {
 /// job count (scale-down knob for quick runs).
 void add_standard_options(util::CliParser& cli);
 
+/// Observability options: --trace-out (Chrome trace JSON for Perfetto),
+/// --site-metrics-out (per-site/per-link metric registry, CSV or JSON by
+/// extension), --spans-csv (per-job span table), --profile (wall-clock
+/// event-loop profile printed after the run).
+void add_observability_options(util::CliParser& cli);
+
+/// If any observability flag was given, run ONE representative cell
+/// (es, ds, the first seed) with the observers attached and write the
+/// requested outputs. The matrix runs stay unobserved, so figures are
+/// unaffected; this re-run costs one extra simulation only when asked for.
+void maybe_run_observed_cell(const util::CliParser& cli, core::SimulationConfig config,
+                             core::EsAlgorithm es, core::DsAlgorithm ds);
+
 /// Build the Table 1 base config from parsed standard options.
 [[nodiscard]] core::SimulationConfig config_from_cli(const util::CliParser& cli);
 

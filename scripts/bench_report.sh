@@ -8,7 +8,9 @@
 # The default output path is BENCH_engine.json at the repo root. The report
 # contains, per mode: wall time, events/sec, flows/sec, calendar push/cancel
 # counts, tombstone ratio, peak heap size, and compaction count — plus the
-# headline events/sec speedup of Incremental over the legacy baseline.
+# headline events/sec speedup of Incremental over the legacy baseline, and a
+# "profile" section with the per-event-type wall-clock handler-time
+# breakdown of one profiled full Table-1 simulation (see docs/observability.md).
 # Exits non-zero if the speedup regresses below the 2x target.
 set -euo pipefail
 

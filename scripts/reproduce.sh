@@ -37,7 +37,15 @@ for bench in "$repo"/build/bench/bench_*; do
   echo "-- $name"
   args=("--threads=$threads")
   case "$name" in
-    bench_fig3_response_and_data|bench_fig4_idle_time|bench_fig5_bandwidth)
+    bench_fig3_response_and_data)
+      # The fig-3 bench also re-runs the paper's winning cell with the
+      # observability stack attached: Perfetto trace, per-site/per-link
+      # metrics, per-job spans, wall-clock event-loop profile.
+      args+=("--csv=$out/$name.csv" "--svg-prefix=$out/"
+             "--trace-out=$out/fig3_trace.json"
+             "--site-metrics-out=$out/fig3_site_metrics.csv"
+             "--spans-csv=$out/fig3_spans.csv" "--profile=1") ;;
+    bench_fig4_idle_time|bench_fig5_bandwidth)
       args+=("--csv=$out/$name.csv" "--svg-prefix=$out/") ;;
   esac
   if ! "$bench" "${args[@]}" > "$out/$name.txt" 2>&1; then

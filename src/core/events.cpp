@@ -17,6 +17,7 @@ const char* to_string(GridEventType type) {
     case GridEventType::JobComputeDone: return "job_compute_done";
     case GridEventType::JobCompleted: return "job_completed";
     case GridEventType::FetchStarted: return "fetch_started";
+    case GridEventType::FetchJoined: return "fetch_joined";
     case GridEventType::FetchCompleted: return "fetch_completed";
     case GridEventType::ReplicationStarted: return "replication_started";
     case GridEventType::ReplicationCompleted: return "replication_completed";

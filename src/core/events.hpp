@@ -28,6 +28,8 @@ enum class GridEventType : std::uint8_t {
   JobComputeDone,        ///< runtime elapsed; processor released
   JobCompleted,          ///< fully done (output landed, if any)
   FetchStarted,          ///< job-driven transfer began (site_a -> site_b)
+  FetchJoined,           ///< job piggybacked on an in-flight fetch of the
+                         ///< same dataset to the same site (no new transfer)
   FetchCompleted,        ///< ...and arrived
   ReplicationStarted,    ///< DS push began (site_a -> site_b)
   ReplicationCompleted,  ///< ...and arrived
@@ -36,7 +38,7 @@ enum class GridEventType : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(GridEventType type);
-inline constexpr std::size_t kNumGridEventTypes = 12;
+inline constexpr std::size_t kNumGridEventTypes = 13;
 
 /// One trace record. Fields not meaningful for the type are left at their
 /// sentinel values (kNoJob / kNoDataset / kNoSite / 0).

@@ -49,6 +49,8 @@ void FetchPlanner::request_input(site::Job& job, data::DatasetId input) {
   if (it != pending.end()) {
     // A fetch of this dataset toward this site is already in flight; join.
     it->second.waiters.push_back(job.id);
+    events_.emit(GridEvent{GridEventType::FetchJoined, 0.0, job.id, input,
+                           it->second.source, dest, catalog_.size_mb(input)});
     replication_.note_access(input, it->second.source, job.origin_site, dest);
     return;
   }

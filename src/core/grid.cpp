@@ -108,7 +108,7 @@ void Grid::inject_link_degradation(net::LinkId link, util::SimTime at, double sc
   CHICSIM_ASSERT_MSG(!ran_, "fault injection must be scheduled before run()");
   CHICSIM_ASSERT_MSG(link < topology_.link_count(), "link id out of range");
   CHICSIM_ASSERT_MSG(scale > 0.0, "bandwidth scale must be positive");
-  engine_.schedule_at(at, [this, link, scale] {
+  engine_.schedule_at(at, "fault_injection", [this, link, scale] {
     logger_.info("link " + std::to_string(link) + " bandwidth scaled to " +
                  util::format_fixed(scale, 3));
     transfers_->set_bandwidth_scale(link, scale);

@@ -99,6 +99,7 @@ class Grid final {
   // --- ground-truth component access (tests, examples, benches) ---
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] const net::Routing& routing() const { return *routing_; }
   [[nodiscard]] const net::TransferManager& transfers() const { return *transfers_; }
   [[nodiscard]] const data::DatasetCatalog& datasets() const { return catalog_; }
   [[nodiscard]] const data::ReplicaCatalog& replicas() const { return *replica_catalog_; }

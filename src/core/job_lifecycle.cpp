@@ -68,10 +68,10 @@ void JobLifecycle::start() {
   for (const User& user : users_) {
     site::UserId uid = user.id;
     if (config_.submission_mode == SubmissionMode::ClosedLoop) {
-      engine_.schedule_at(0.0, [this, uid] { submit_next_job(uid); });
+      engine_.schedule_at(0.0, "job_submission", [this, uid] { submit_next_job(uid); });
     } else {
       engine_.schedule_at(rng_arrivals_.exponential(1.0 / config_.arrival_interval_s),
-                          [this, uid] { submit_next_job(uid); });
+                          "job_submission", [this, uid] { submit_next_job(uid); });
     }
   }
 }
@@ -87,7 +87,7 @@ void JobLifecycle::submit_next_job(site::UserId uid) {
   // job's fate is known.
   if (config_.submission_mode == SubmissionMode::OpenLoop && user.next_job < list.size()) {
     engine_.schedule_in(rng_arrivals_.exponential(1.0 / config_.arrival_interval_s),
-                        [this, uid] { submit_next_job(uid); });
+                        "job_submission", [this, uid] { submit_next_job(uid); });
   }
 
   site::Job& job = job_mut(id);
@@ -104,7 +104,7 @@ void JobLifecycle::submit_next_job(site::UserId uid) {
     central_queue_.push_back(id);
     if (!central_busy_) {
       central_busy_ = true;
-      engine_.schedule_in(config_.central_decision_overhead_s,
+      engine_.schedule_in(config_.central_decision_overhead_s, "central_decision",
                           [this] { central_process_next(); });
     }
     return;
@@ -120,7 +120,7 @@ void JobLifecycle::central_process_next() {
   if (central_queue_.empty()) {
     central_busy_ = false;
   } else {
-    engine_.schedule_in(config_.central_decision_overhead_s,
+    engine_.schedule_in(config_.central_decision_overhead_s, "central_decision",
                         [this] { central_process_next(); });
   }
 }
@@ -169,7 +169,7 @@ void JobLifecycle::try_start_jobs(data::SiteIndex s) {
     job.start_time = engine_.now();
     events_.emit(GridEvent{GridEventType::JobStarted, 0.0, next, data::kNoDataset, s,
                            data::kNoSite, 0.0});
-    engine_.schedule_in(job.runtime_s / site.speed_factor(),
+    engine_.schedule_in(job.runtime_s / site.speed_factor(), "compute_done",
                         [this, next] { on_compute_complete(next); });
   }
 }
@@ -221,7 +221,7 @@ void JobLifecycle::finalize_job(site::JobId id) {
   // Closed loop: the user submits its next job now.
   if (config_.submission_mode == SubmissionMode::ClosedLoop) {
     site::UserId uid = job.user;
-    engine_.schedule_in(0.0, [this, uid] { submit_next_job(uid); });
+    engine_.schedule_in(0.0, "job_submission", [this, uid] { submit_next_job(uid); });
   }
 
   if (completed_jobs_ == jobs_.size()) on_all_complete_();

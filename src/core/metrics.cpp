@@ -16,7 +16,7 @@ void MetricsCollector::record_job(const site::Job& job) {
   data_wait_.add(job.data_ready_time - job.dispatch_time);
   compute_.add(job.compute_done_time - job.start_time);
   output_wait_.add(job.finish_time - job.compute_done_time);
-  response_samples_.push_back(job.response_time());
+  response_p95_.add(job.response_time());
   if (job.exec_site == job.origin_site) ++jobs_at_origin_;
 }
 
@@ -24,13 +24,11 @@ RunMetrics MetricsCollector::finalize(util::SimTime makespan,
                                       const std::vector<site::Site>& sites,
                                       const net::TransferManager& transfers) const {
   RunMetrics m;
-  m.jobs_completed = response_samples_.size();
+  m.jobs_completed = response_.count();
   m.makespan_s = makespan;
   m.avg_response_time_s = response_.mean();
   m.response_summary = util::summarize(response_);
-  if (!response_samples_.empty()) {
-    m.p95_response_time_s = util::percentile(response_samples_, 0.95);
-  }
+  m.p95_response_time_s = response_p95_.value();
   m.avg_placement_wait_s = placement_wait_.mean();
   m.avg_queue_wait_s = queue_wait_.mean();
   m.avg_data_wait_s = data_wait_.mean();

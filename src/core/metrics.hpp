@@ -90,7 +90,7 @@ class MetricsCollector {
                                     const std::vector<site::Site>& sites,
                                     const net::TransferManager& transfers) const;
 
-  [[nodiscard]] std::uint64_t jobs_recorded() const { return response_samples_.size(); }
+  [[nodiscard]] std::uint64_t jobs_recorded() const { return response_.count(); }
 
  private:
   util::OnlineStats response_;
@@ -99,7 +99,11 @@ class MetricsCollector {
   util::OnlineStats data_wait_;
   util::OnlineStats compute_;
   util::OnlineStats output_wait_;
-  std::vector<double> response_samples_;
+  /// Streaming p95: O(1) memory instead of the O(jobs) sample vector the
+  /// collector used to keep alive just to sort once in finalize(). The
+  /// estimate follows the P2Quantile accuracy contract (~2% relative error
+  /// at n >= 100; exact below six samples), asserted by test_metrics.
+  util::P2Quantile response_p95_{0.95};
   std::uint64_t jobs_at_origin_ = 0;
 };
 

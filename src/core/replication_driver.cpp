@@ -83,7 +83,7 @@ void ReplicationDriver::set_dataset_scheduler(std::unique_ptr<DatasetScheduler> 
 void ReplicationDriver::start() {
   timer_ = std::make_unique<sim::PeriodicTimer>(engine_, config_.ds_check_period_s,
                                                 config_.ds_check_period_s,
-                                                [this] { evaluate_all(); });
+                                                [this] { evaluate_all(); }, "ds_evaluate");
 }
 
 void ReplicationDriver::stop() {

@@ -1,0 +1,47 @@
+// Per-site / per-link metric collection from the grid event stream.
+//
+// RunMetrics reports grid-wide averages; this observer answers "which
+// site" and "which link": it folds GridEvents into a MetricRegistry with
+// one dimension label per entity, so the exported CSV/JSON carries one row
+// per (metric, site) or (metric, link). Attach via Grid::add_observer()
+// before run(); export with registry().write_csv()/write_json().
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/events.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/metric_registry.hpp"
+
+namespace chicsim::core {
+
+class SiteMetricsObserver final : public GridObserver {
+ public:
+  /// `topology` names the site and link dimensions; `routing` attributes
+  /// transfer traffic to the links it crossed (nullptr skips the per-link
+  /// series). Both must outlive the observer.
+  SiteMetricsObserver(const net::Topology& topology, const net::Routing* routing);
+
+  void on_event(const GridEvent& event) override;
+
+  [[nodiscard]] const util::MetricRegistry& registry() const { return registry_; }
+  [[nodiscard]] util::MetricRegistry& registry() { return registry_; }
+
+ private:
+  [[nodiscard]] const std::string& site_dim(data::SiteIndex site);
+  void count_link_traffic(data::SiteIndex src, data::SiteIndex dst, util::Megabytes mb);
+
+  const net::Topology& topology_;
+  const net::Routing* routing_;
+  util::MetricRegistry registry_;
+  /// Memoised "site=<name>" / "link=<a>-<b>" labels.
+  std::vector<std::string> site_dims_;
+  std::vector<std::string> link_dims_;
+  /// Dispatch time per job, for the per-site queue-wait histogram.
+  std::unordered_map<site::JobId, util::SimTime> dispatch_time_;
+};
+
+}  // namespace chicsim::core

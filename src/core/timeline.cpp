@@ -23,11 +23,15 @@ TimelineRecorder::~TimelineRecorder() {
 }
 
 void TimelineRecorder::arm() {
-  pending_event_ = grid_.engine().schedule_in(period_s_, [this] {
+  pending_event_ = grid_.engine().schedule_in(period_s_, "timeline_sample", [this] {
     pending_event_ = sim::kNoEvent;
     if (stopped_) return;
-    sample_now();
+    // Re-arm before sampling: if sample_now() ever reaches code that
+    // destroys this recorder (an observer teardown path), the destructor
+    // must find the next event in pending_event_ to cancel it — sampling
+    // first would leave a dangling closure in the calendar.
     arm();
+    sample_now();
   });
 }
 

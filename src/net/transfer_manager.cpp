@@ -84,7 +84,8 @@ TransferId TransferManager::start(NodeId src, NodeId dst, util::Megabytes size_m
     flow.purpose = purpose;
     flow.on_complete = std::move(on_complete);
     flow.path = nullptr;
-    flow.completion_event = engine_.schedule_in(0.0, [this, id] { on_completion_event(id); });
+    flow.completion_event =
+        engine_.schedule_in(0.0, "transfer_completion", [this, id] { on_completion_event(id); });
     flows_.emplace(id, std::move(flow));
     return id;
   }
@@ -213,8 +214,8 @@ void TransferManager::update_completion_event(TransferId id, Flow& f, double old
   }
   util::SimTime eta = f.remaining_mb <= kResidualTolMb ? 0.0 : f.remaining_mb / f.rate;
   TransferId fid = id;
-  f.completion_event =
-      engine_.schedule_at(now + eta, [this, fid] { on_completion_event(fid); });
+  f.completion_event = engine_.schedule_at(now + eta, "transfer_completion",
+                                           [this, fid] { on_completion_event(fid); });
   ++stats_.flows_rescheduled;
 }
 

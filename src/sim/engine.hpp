@@ -19,6 +19,8 @@
 
 namespace chicsim::sim {
 
+class EngineProfiler;
+
 class Engine {
  public:
   Engine() = default;
@@ -35,6 +37,12 @@ class Engine {
 
   /// Schedule `fn` after `delay` seconds (>= 0).
   EventId schedule_in(util::SimTime delay, EventFn fn);
+
+  /// Tagged variants: `tag` must be a string literal (or other storage
+  /// outliving the engine) naming the event type for the wall-clock
+  /// profiler. Scheduling order and results are unaffected by tags.
+  EventId schedule_at(util::SimTime t, const char* tag, EventFn fn);
+  EventId schedule_in(util::SimTime delay, const char* tag, EventFn fn);
 
   /// Cancel a pending event. Returns false when it already fired or was
   /// already cancelled.
@@ -63,12 +71,19 @@ class Engine {
   /// tombstone count, compactions).
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
+  /// Attach a wall-clock profiler (nullptr detaches). While attached,
+  /// step() times each handler with the steady clock and run()/run_until()
+  /// bracket the run for the events/sec figure. Detached costs one branch.
+  void set_profiler(EngineProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] EngineProfiler* profiler() const { return profiler_; }
+
  private:
   EventQueue queue_;
   util::SimTime now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  EngineProfiler* profiler_ = nullptr;
 };
 
 /// Repeating timer: runs `fn` every `period` seconds starting at
@@ -76,7 +91,10 @@ class Engine {
 /// evaluation. Cancelling is done by destroying the timer or calling stop().
 class PeriodicTimer {
  public:
-  PeriodicTimer(Engine& engine, util::SimTime start, util::SimTime period, EventFn fn);
+  /// `tag` (optional, must outlive the timer) labels the ticks for the
+  /// wall-clock profiler.
+  PeriodicTimer(Engine& engine, util::SimTime start, util::SimTime period, EventFn fn,
+                const char* tag = nullptr);
   ~PeriodicTimer();
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -91,6 +109,7 @@ class PeriodicTimer {
   Engine& engine_;
   util::SimTime period_;
   EventFn fn_;
+  const char* tag_ = nullptr;
   EventId pending_ = kNoEvent;
   bool running_ = true;
 };

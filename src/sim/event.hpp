@@ -25,6 +25,10 @@ struct Event {
   /// they were scheduled, making runs fully deterministic.
   EventId id = kNoEvent;
   EventFn fn;
+  /// Static event-type label for the wall-clock profiler (must point at a
+  /// string literal or other storage outliving the engine); nullptr means
+  /// "untagged". Never influences scheduling order or simulation results.
+  const char* tag = nullptr;
 };
 
 }  // namespace chicsim::sim

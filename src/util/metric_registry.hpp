@@ -1,0 +1,101 @@
+// Dimensional metric registry: named counters, gauges and histograms.
+//
+// The run-level RunMetrics struct answers "how did the run do on average";
+// the registry answers "which site / which link": every metric carries an
+// optional dimension label ("site=7", "link=2-31"), so one name fans out
+// into a family of per-entity series. Instruments are created lazily on
+// first touch and export in creation order as CSV (one row per instrument)
+// or JSON (full histogram buckets included).
+//
+// Histograms are binary-exponent histograms: samples land in the bucket of
+// their power of two, covering ~1e-9 .. ~1e18 without up-front range
+// configuration — suitable both for queue depths (1, 2, 4, ...) and for
+// wall-clock handler times (nanoseconds to seconds).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace chicsim::util {
+
+/// Monotonic event count.
+struct CounterMetric {
+  std::uint64_t value = 0;
+  void add(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// Last-write-wins instantaneous value.
+struct GaugeMetric {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Binary-exponent histogram plus streaming summary statistics.
+class HistogramMetric {
+ public:
+  /// Bucket i covers [2^(i + kMinExp), 2^(i + kMinExp + 1)); values at or
+  /// below zero land in bucket 0, values beyond the range clamp to the ends.
+  static constexpr int kMinExp = -30;  // ~1e-9
+  static constexpr int kMaxExp = 33;   // ~8.6e9
+
+  void observe(double value);
+
+  [[nodiscard]] const OnlineStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  /// Inclusive upper bound of bucket i (2^(i + kMinExp + 1)).
+  [[nodiscard]] static double bucket_upper_bound(std::size_t i);
+
+ private:
+  OnlineStats stats_;
+  std::vector<std::uint64_t> buckets_ =
+      std::vector<std::uint64_t>(static_cast<std::size_t>(kMaxExp - kMinExp + 1), 0);
+};
+
+class MetricRegistry {
+ public:
+  /// Instruments are identified by (name, dimension); an empty dimension
+  /// means a grid-wide scalar. Touching the same identity with a different
+  /// kind throws SimError.
+  CounterMetric& counter(const std::string& name, const std::string& dimension = "");
+  GaugeMetric& gauge(const std::string& name, const std::string& dimension = "");
+  HistogramMetric& histogram(const std::string& name, const std::string& dimension = "");
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// One row per instrument: name, dimension, kind, count, value, mean,
+  /// min, max (histograms fill all of count/mean/min/max; counters and
+  /// gauges report their scalar in `value`).
+  void write_csv(std::ostream& out) const;
+
+  /// Full dump, histogram buckets included (only non-empty buckets are
+  /// written, as {"le": upper_bound, "count": n} pairs).
+  void write_json(std::ostream& out) const;
+
+ private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+  struct Entry {
+    std::string name;
+    std::string dimension;
+    Kind kind = Kind::Counter;
+    CounterMetric counter;
+    GaugeMetric gauge;
+    HistogramMetric histogram;
+  };
+
+  Entry& entry(const std::string& name, const std::string& dimension, Kind kind);
+
+  /// Deque, not vector: returned instrument references stay valid as later
+  /// registrations grow the registry.
+  std::deque<Entry> entries_;                          ///< creation order
+  std::unordered_map<std::string, std::size_t> index_; ///< "name\x1f;dim" -> slot
+};
+
+}  // namespace chicsim::util

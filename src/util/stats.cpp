@@ -83,4 +83,87 @@ double coefficient_of_variation(const Summary& s) {
   return s.stddev / std::abs(s.mean);
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  CHICSIM_ASSERT_MSG(q > 0.0 && q < 1.0, "P2Quantile: q must be in (0, 1)");
+  rate_[0] = 0.0;
+  rate_[1] = q / 2.0;
+  rate_[2] = q;
+  rate_[3] = (1.0 + q) / 2.0;
+  rate_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    height_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(height_, height_ + 5);
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x < height_[1]) {
+    k = 0;
+  } else if (x < height_[2]) {
+    k = 1;
+  } else if (x < height_[3]) {
+    k = 2;
+  } else if (x <= height_[4]) {
+    k = 3;
+  } else {
+    height_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += rate_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions with a
+  // piecewise-parabolic (P²) height update, falling back to linear when the
+  // parabola would cross a neighbour.
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      double sign = d >= 0.0 ? 1.0 : -1.0;
+      double np = pos_[i] + sign;
+      double parabolic =
+          height_[i] +
+          sign / (pos_[i + 1] - pos_[i - 1]) *
+              ((pos_[i] - pos_[i - 1] + sign) * (height_[i + 1] - height_[i]) /
+                   (pos_[i + 1] - pos_[i]) +
+               (pos_[i + 1] - pos_[i] - sign) * (height_[i] - height_[i - 1]) /
+                   (pos_[i] - pos_[i - 1]));
+      if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+        height_[i] = parabolic;
+      } else {
+        int j = sign > 0.0 ? i + 1 : i - 1;
+        height_[i] += sign * (height_[j] - height_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // The first five samples are retained (and sorted at n == 5), so the
+    // exact order statistic is still available.
+    std::vector<double> copy(height_, height_ + n_);
+    return percentile(std::move(copy), q_);
+  }
+  return height_[2];
+}
+
 }  // namespace chicsim::util

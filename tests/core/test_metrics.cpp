@@ -134,7 +134,29 @@ TEST(Metrics, P95FromSamples) {
   net::Routing routing(topo);
   net::TransferManager tm(engine, topo, routing);
   RunMetrics m = collector.finalize(100.0, sites, tm);
-  EXPECT_NEAR(m.p95_response_time_s, 95.05, 0.01);
+  // The collector streams p95 through a P2Quantile; its accuracy contract
+  // (stats.hpp) allows ~2% relative error vs the exact order statistic
+  // (95.05 here) at n = 100.
+  EXPECT_NEAR(m.p95_response_time_s, 95.05, 95.05 * 0.02);
+}
+
+TEST(Metrics, P95ExactForSmallRuns) {
+  // Below six samples the streaming estimator stores samples exactly, so a
+  // small run's p95 matches the batch percentile bit-for-bit.
+  MetricsCollector collector;
+  for (int i = 1; i <= 5; ++i) {
+    collector.record_job(completed_job(static_cast<site::JobId>(i), 0, 0, 0, 0,
+                                       static_cast<double>(10 * i)));
+  }
+  std::vector<site::Site> sites;
+  sites.emplace_back(0, 1, 1000.0);
+  sim::Engine engine;
+  net::Topology topo = net::build_star(2, 10.0);
+  net::Routing routing(topo);
+  net::TransferManager tm(engine, topo, routing);
+  RunMetrics m = collector.finalize(50.0, sites, tm);
+  EXPECT_DOUBLE_EQ(m.p95_response_time_s,
+                   util::percentile({10.0, 20.0, 30.0, 40.0, 50.0}, 0.95));
 }
 
 }  // namespace

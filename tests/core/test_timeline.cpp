@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "core/grid.hpp"
 #include "util/csv.hpp"
@@ -102,6 +104,32 @@ TEST(Timeline, DestructionBeforeRunIsSafe) {
   { TimelineRecorder recorder(grid, 100.0); }
   grid.run();  // the cancelled sampler must not fire
   EXPECT_EQ(grid.metrics().jobs_completed, 120u);
+}
+
+TEST(Timeline, DestructionMidRunIsSafe) {
+  // Tearing the recorder down while its next sampling event is already on
+  // the calendar must cancel that event, not leave a closure dangling over
+  // freed recorder state.
+  Grid grid(timeline_config());
+  auto recorder = std::make_unique<TimelineRecorder>(grid, 50.0);
+  grid.engine().schedule_at(175.0, [&recorder] { recorder.reset(); });
+  grid.run();
+  EXPECT_EQ(recorder, nullptr);
+  EXPECT_EQ(grid.metrics().jobs_completed, 120u);
+}
+
+TEST(Timeline, SamplesStopAtDestruction) {
+  Grid grid(timeline_config());
+  auto recorder = std::make_unique<TimelineRecorder>(grid, 50.0);
+  std::vector<TimelineSample> captured;
+  grid.engine().schedule_at(175.0, [&] {
+    captured = recorder->samples();
+    recorder.reset();
+  });
+  grid.run();
+  // Samples at 0, 50, 100, 150 were taken; nothing after the teardown.
+  EXPECT_EQ(captured.size(), 4u);
+  EXPECT_DOUBLE_EQ(captured.back().time, 150.0);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -135,6 +136,67 @@ TEST(CoefficientOfVariation, Basics) {
   EXPECT_DOUBLE_EQ(coefficient_of_variation(s), 0.05);
   s.mean = 0.0;
   EXPECT_DOUBLE_EQ(coefficient_of_variation(s), 0.0);
+}
+
+
+TEST(P2Quantile, ExactForFiveOrFewerSamples) {
+  P2Quantile q(0.95);
+  std::vector<double> samples{40.0, 10.0, 50.0, 20.0, 30.0};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    q.add(samples[i]);
+    std::vector<double> so_far(samples.begin(), samples.begin() + i + 1);
+    EXPECT_DOUBLE_EQ(q.value(), percentile(so_far, 0.95)) << "after " << i + 1;
+  }
+  EXPECT_EQ(q.count(), 5u);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), SimError);
+  EXPECT_THROW(P2Quantile(1.0), SimError);
+  EXPECT_THROW(P2Quantile(-0.5), SimError);
+}
+
+TEST(P2Quantile, UniformWithinDocumentedTolerance) {
+  // The accuracy contract from stats.hpp: unimodal distribution, n >= 100,
+  // p95 within ~2% relative error of the exact sample percentile.
+  Rng rng(42);
+  P2Quantile q(0.95);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.uniform(0.0, 1000.0);
+    q.add(x);
+    samples.push_back(x);
+  }
+  double exact = percentile(samples, 0.95);
+  EXPECT_NEAR(q.value(), exact, exact * 0.02);
+}
+
+TEST(P2Quantile, ExponentialWithinDocumentedTolerance) {
+  // Heavier tail (the shape of job response times in the simulator).
+  Rng rng(7);
+  P2Quantile q(0.95);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.exponential(1.0 / 300.0);
+    q.add(x);
+    samples.push_back(x);
+  }
+  double exact = percentile(samples, 0.95);
+  EXPECT_NEAR(q.value(), exact, exact * 0.02);
+}
+
+TEST(P2Quantile, MedianOfSortedStream) {
+  // Monotone input is the worst case for marker drift; the median of
+  // 1..1001 must still land near 501.
+  P2Quantile q(0.5);
+  for (int i = 1; i <= 1001; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.value(), 501.0, 501.0 * 0.02);
 }
 
 }  // namespace
