@@ -44,6 +44,14 @@ void audit_grid(const Grid& grid) {
       fail("site " + std::to_string(site.index()) +
            " running-job count disagrees with busy elements");
     }
+    // Crash invariants: a dead site holds no work — its queue was drained
+    // and its running jobs killed by the crash choreography.
+    if (!site.alive()) {
+      if (site.load() != 0) fail("dead site " + std::to_string(s) + " has queued jobs");
+      if (site.running_count() != 0) {
+        fail("dead site " + std::to_string(s) + " has running jobs");
+      }
+    }
   }
 
   // Job-state consistency with queues.

@@ -39,6 +39,20 @@ void SimulationConfig::validate() const {
   require(central_decision_overhead_s >= 0.0,
           "central_decision_overhead_s must be non-negative");
   require(arrival_interval_s > 0.0, "arrival_interval_s must be positive");
+  require(fault_site_crash_rate_per_hour >= 0.0,
+          "fault_site_crash_rate_per_hour must be non-negative");
+  require(fault_site_downtime_s > 0.0, "fault_site_downtime_s must be positive");
+  require(fault_transfer_fail_prob >= 0.0 && fault_transfer_fail_prob < 1.0,
+          "fault_transfer_fail_prob must be in [0, 1)");
+  require(fault_catalog_loss_rate_per_hour >= 0.0,
+          "fault_catalog_loss_rate_per_hour must be non-negative");
+  require(fault_horizon_s > 0.0, "fault_horizon_s must be positive");
+  require(fetch_retry_base_s > 0.0, "fetch_retry_base_s must be positive");
+  require(fetch_retry_max_s >= fetch_retry_base_s,
+          "fetch_retry_max_s must be >= fetch_retry_base_s");
+  require(fetch_max_retries >= 1, "fetch_max_retries must be >= 1");
+  require(resubmit_backoff_s > 0.0, "resubmit_backoff_s must be positive");
+  require(max_job_resubmissions >= 1, "max_job_resubmissions must be >= 1");
   // Pinned masters must fit: expected load per site is
   // num_datasets/num_sites files of at most max_dataset_mb. We cannot know
   // the random placement here, so this is checked exactly at Grid build.
@@ -116,6 +130,16 @@ void SimulationConfig::apply(const util::ConfigFile& file) {
       throw util::SimError("config: unknown realloc_mode: " + *v);
     }
   }
+  getd("fault_site_crash_rate_per_hour", fault_site_crash_rate_per_hour);
+  getd("fault_site_downtime_s", fault_site_downtime_s);
+  getd("fault_transfer_fail_prob", fault_transfer_fail_prob);
+  getd("fault_catalog_loss_rate_per_hour", fault_catalog_loss_rate_per_hour);
+  getd("fault_horizon_s", fault_horizon_s);
+  getd("fetch_retry_base_s", fetch_retry_base_s);
+  getd("fetch_retry_max_s", fetch_retry_max_s);
+  geti("fetch_max_retries", fetch_max_retries);
+  getd("resubmit_backoff_s", resubmit_backoff_s);
+  geti("max_job_resubmissions", max_job_resubmissions);
   if (auto v = file.get_int("seed")) seed = static_cast<std::uint64_t>(*v);
 }
 
@@ -168,6 +192,20 @@ std::string SimulationConfig::describe() const {
        realloc_mode == net::ReallocationMode::RescheduleAll ? "RescheduleAll"
        : realloc_mode == net::ReallocationMode::Full        ? "Full"
                                                             : "Incremental");
+  if (faults_enabled()) {
+    line("fault_site_crash_rate_per_hour",
+         util::format_fixed(fault_site_crash_rate_per_hour, 3));
+    line("fault_site_downtime_s", util::format_fixed(fault_site_downtime_s, 0));
+    line("fault_transfer_fail_prob", util::format_fixed(fault_transfer_fail_prob, 3));
+    line("fault_catalog_loss_rate_per_hour",
+         util::format_fixed(fault_catalog_loss_rate_per_hour, 3));
+    line("fault_horizon_s", util::format_fixed(fault_horizon_s, 0));
+    line("fetch_retry_base_s", util::format_fixed(fetch_retry_base_s, 0));
+    line("fetch_retry_max_s", util::format_fixed(fetch_retry_max_s, 0));
+    line("fetch_max_retries", std::to_string(fetch_max_retries));
+    line("resubmit_backoff_s", util::format_fixed(resubmit_backoff_s, 0));
+    line("max_job_resubmissions", std::to_string(max_job_resubmissions));
+  }
   line("seed", std::to_string(seed));
   out += "}";
   return out;

@@ -93,7 +93,47 @@ struct SimulationConfig {
   /// RescheduleAll is the pre-optimization behaviour kept as a baseline.
   net::ReallocationMode realloc_mode = net::ReallocationMode::Incremental;
 
+  // --- fault injection and recovery (docs/robustness.md) ---
+  /// Stochastic FaultPlan generation (seeded from `seed`, substream
+  /// "faults"): expected site crashes per site per hour of virtual time
+  /// (0 = fault-free; the paper's setting). Each crash is paired with a
+  /// recovery after an exponentially distributed downtime.
+  double fault_site_crash_rate_per_hour = 0.0;
+  /// Mean downtime of a crashed site (exponential).
+  util::SimTime fault_site_downtime_s = 3600.0;
+  /// Per-fetch probability that a started remote fetch fails mid-flight
+  /// and must be retried (substream "transfer_faults").
+  double fault_transfer_fail_prob = 0.0;
+  /// Expected silent replica-catalog corruptions per hour grid-wide: a
+  /// physical copy vanishes while the catalog keeps advertising it, until
+  /// source selection discovers and reconciles the lie.
+  double fault_catalog_loss_rate_per_hour = 0.0;
+  /// Stochastic faults are generated over [0, fault_horizon_s) of virtual
+  /// time; events past the end of the run simply never fire.
+  util::SimTime fault_horizon_s = 86400.0;
+  /// Failed-fetch retry backoff: base * 2^(attempt-1), capped at max.
+  util::SimTime fetch_retry_base_s = 30.0;
+  util::SimTime fetch_retry_max_s = 600.0;
+  /// Consecutive no-progress attempts (failed transfers or parked polls
+  /// with no live source) per pending fetch before the run aborts with an
+  /// error — an invariant guard against silent infinite retry, not a drop
+  /// policy. The counter resets whenever a transfer actually starts, so
+  /// the budget bounds one continuous outage (~6 h of capped backoff at
+  /// the defaults), not the lifetime total.
+  std::size_t fetch_max_retries = 40;
+  /// Delay before re-consulting the ES for a job that lost its site or was
+  /// routed to a dead one; grows exponentially per attempt (capped at 16x).
+  util::SimTime resubmit_backoff_s = 60.0;
+  /// Resubmissions per job before the run aborts with an error.
+  std::size_t max_job_resubmissions = 40;
+
   std::uint64_t seed = 1;
+
+  /// True when any stochastic fault stream is enabled.
+  [[nodiscard]] bool faults_enabled() const {
+    return fault_site_crash_rate_per_hour > 0.0 || fault_transfer_fail_prob > 0.0 ||
+           fault_catalog_loss_rate_per_hour > 0.0;
+  }
 
   [[nodiscard]] std::size_t jobs_per_user() const { return total_jobs / num_users; }
 

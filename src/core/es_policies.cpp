@@ -9,6 +9,25 @@ namespace chicsim::core {
 
 namespace {
 
+/// Sites a placement may consider: every site the view believes is alive —
+/// or every site when the view believes nothing is (the dispatch guard
+/// then holds the job with backoff until something recovers, which beats a
+/// policy crash). In a fault-free run this is always the full site list,
+/// so the liveness filter perturbs nothing.
+std::vector<data::SiteIndex> placeable_sites(const GridView& view) {
+  std::vector<data::SiteIndex> alive;
+  alive.reserve(view.num_sites());
+  for (std::size_t s = 0; s < view.num_sites(); ++s) {
+    auto site = static_cast<data::SiteIndex>(s);
+    if (view.site_alive(site)) alive.push_back(site);
+  }
+  if (alive.empty()) {
+    alive.resize(view.num_sites());
+    for (std::size_t s = 0; s < alive.size(); ++s) alive[s] = static_cast<data::SiteIndex>(s);
+  }
+  return alive;
+}
+
 /// Among `candidates`, keep those with minimal load; return one uniformly
 /// at random (deterministic given the rng stream).
 data::SiteIndex least_loaded_of(const std::vector<data::SiteIndex>& candidates,
@@ -28,15 +47,18 @@ data::SiteIndex least_loaded_of(const std::vector<data::SiteIndex>& candidates,
 data::SiteIndex JobRandomEs::select_site(const site::Job& job, const GridView& view,
                                          util::Rng& rng) {
   (void)job;
-  return static_cast<data::SiteIndex>(rng.index(view.num_sites()));
+  std::vector<data::SiteIndex> sites = placeable_sites(view);
+  // The full-grid case keeps the historical single-draw shape exactly.
+  if (sites.size() == view.num_sites()) {
+    return static_cast<data::SiteIndex>(rng.index(view.num_sites()));
+  }
+  return sites[rng.index(sites.size())];
 }
 
 data::SiteIndex JobLeastLoadedEs::select_site(const site::Job& job, const GridView& view,
                                               util::Rng& rng) {
   (void)job;
-  std::vector<data::SiteIndex> all(view.num_sites());
-  for (std::size_t s = 0; s < all.size(); ++s) all[s] = static_cast<data::SiteIndex>(s);
-  return least_loaded_of(all, view, rng);
+  return least_loaded_of(placeable_sites(view), view, rng);
 }
 
 data::SiteIndex JobDataPresentEs::select_site(const site::Job& job, const GridView& view,
@@ -46,8 +68,7 @@ data::SiteIndex JobDataPresentEs::select_site(const site::Job& job, const GridVi
   // qualify, the least loaded of them wins.
   std::vector<data::SiteIndex> qualifying;
   double best_mb = -1.0;
-  for (std::size_t s = 0; s < view.num_sites(); ++s) {
-    auto site = static_cast<data::SiteIndex>(s);
+  for (data::SiteIndex site : placeable_sites(view)) {
     double mb = 0.0;
     for (auto input : job.inputs) {
       if (view.site_has_dataset(site, input)) mb += view.dataset_size_mb(input);
@@ -108,8 +129,10 @@ data::SiteIndex JobAdaptiveEs::select_site(const site::Job& job, const GridView&
                                            util::Rng& rng) {
   CHICSIM_ASSERT_MSG(!job.inputs.empty(), "job without inputs");
   // Candidates: run at home, run at the data, or run where it is quiet.
+  // A home the view believes is down is not nominated (the two other
+  // strategies already filter internally).
   std::vector<data::SiteIndex> candidates;
-  candidates.push_back(job.origin_site);
+  if (view.site_alive(job.origin_site)) candidates.push_back(job.origin_site);
   JobDataPresentEs data_present;
   candidates.push_back(data_present.select_site(job, view, rng));
   JobLeastLoadedEs least_loaded;
@@ -145,8 +168,7 @@ data::SiteIndex JobBestEstimateEs::select_site(const site::Job& job, const GridV
   // tie to the lowest site index, skewing load toward site 0.
   double best_est = std::numeric_limits<double>::infinity();
   std::vector<data::SiteIndex> ties;
-  for (std::size_t s = 0; s < view.num_sites(); ++s) {
-    auto candidate = static_cast<data::SiteIndex>(s);
+  for (data::SiteIndex candidate : placeable_sites(view)) {
     double est = JobAdaptiveEs::estimate_completion_s(job, candidate, view);
     if (est < best_est - util::kEpsilon) {
       best_est = est;

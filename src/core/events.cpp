@@ -23,6 +23,12 @@ const char* to_string(GridEventType type) {
     case GridEventType::ReplicationCompleted: return "replication_completed";
     case GridEventType::ReplicaStored: return "replica_stored";
     case GridEventType::ReplicaEvicted: return "replica_evicted";
+    case GridEventType::SiteFailed: return "site_failed";
+    case GridEventType::SiteRecovered: return "site_recovered";
+    case GridEventType::TransferRetried: return "transfer_retried";
+    case GridEventType::JobResubmitted: return "job_resubmitted";
+    case GridEventType::CatalogInvalidated: return "catalog_invalidated";
+    case GridEventType::LinkDegraded: return "link_degraded";
   }
   return "?";
 }

@@ -35,10 +35,20 @@ enum class GridEventType : std::uint8_t {
   ReplicationCompleted,  ///< ...and arrived
   ReplicaStored,         ///< a copy became locally available at site_a
   ReplicaEvicted,        ///< LRU displaced a cached copy at site_a
+  SiteFailed,            ///< site_a crashed: compute lost, cache invalidated
+  SiteRecovered,         ///< site_a rejoined the grid
+  TransferRetried,       ///< fetch of `dataset` to site_b restarted from
+                         ///< site_a (kNoSite = backing off, no live source)
+  JobResubmitted,        ///< job re-entered the ES queue after losing its
+                         ///< site (site_a = the site it was stranded on)
+  CatalogInvalidated,    ///< catalog entry for (dataset, site_a) found to be
+                         ///< a lie (copy gone) and reconciled away
+  LinkDegraded,          ///< link site_a<->site_b bandwidth scaled; `mb`
+                         ///< carries the new scale factor (1.0 = restored)
 };
 
 [[nodiscard]] const char* to_string(GridEventType type);
-inline constexpr std::size_t kNumGridEventTypes = 13;
+inline constexpr std::size_t kNumGridEventTypes = 19;
 
 /// One trace record. Fields not meaningful for the type are left at their
 /// sentinel values (kNoJob / kNoDataset / kNoSite / 0).

@@ -1,14 +1,16 @@
 #include "core/fetch_planner.hpp"
 
+#include <algorithm>
+
 #include "core/replication_driver.hpp"
 #include "util/error.hpp"
 
 namespace chicsim::core {
 
-FetchPlanner::FetchPlanner(const SimulationConfig& config, const sim::Engine& engine,
+FetchPlanner::FetchPlanner(const SimulationConfig& config, sim::Engine& engine,
                            std::vector<site::Site>& sites,
                            const data::DatasetCatalog& catalog,
-                           const data::ReplicaCatalog& replicas, const net::Routing& routing,
+                           data::ReplicaCatalog& replicas, const net::Routing& routing,
                            net::TransferManager& transfers, ReplicationDriver& replication,
                            EventSink& events)
     : config_(config),
@@ -20,7 +22,8 @@ FetchPlanner::FetchPlanner(const SimulationConfig& config, const sim::Engine& en
       transfers_(transfers),
       replication_(replication),
       events_(events),
-      rng_fetch_(util::Rng::substream(config.seed, "fetch")) {
+      rng_fetch_(util::Rng::substream(config.seed, "fetch")),
+      rng_faults_(util::Rng::substream(config.seed, "transfer_faults")) {
   pending_fetches_.resize(sites_.size());
 }
 
@@ -51,35 +54,230 @@ void FetchPlanner::request_input(site::Job& job, data::DatasetId input) {
     it->second.waiters.push_back(job.id);
     events_.emit(GridEvent{GridEventType::FetchJoined, 0.0, job.id, input,
                            it->second.source, dest, catalog_.size_mb(input)});
-    replication_.note_access(input, it->second.source, job.origin_site, dest);
+    // A parked fetch (crash recovery) has no source yet; there is no holder
+    // whose popularity tracker could record this access, so skip it — the
+    // bookkeeping miss lasts only as long as the outage.
+    if (it->second.source != data::kNoSite) {
+      replication_.note_access(input, it->second.source, job.origin_site, dest);
+    }
     return;
   }
 
   data::SiteIndex source = choose_source(input, dest);
+  if (source == data::kNoSite) {
+    // No live, truthful holder right now (crash-heavy moment): park the
+    // fetch and poll with backoff until a replica resurfaces.
+    ++remote_fetches_;
+    events_.emit(GridEvent{GridEventType::FetchStarted, 0.0, job.id, input,
+                           data::kNoSite, dest, catalog_.size_mb(input)});
+    PendingFetch fetch;
+    fetch.waiters.push_back(job.id);
+    auto [pit, inserted] = pending.emplace(input, std::move(fetch));
+    CHICSIM_ASSERT(inserted);
+    schedule_retry(dest, input, pit->second);
+    return;
+  }
   replication_.note_access(input, source, job.origin_site, dest);
   ++remote_fetches_;
   events_.emit(GridEvent{GridEventType::FetchStarted, 0.0, job.id, input, source, dest,
                          catalog_.size_mb(input)});
-  sites_[source].storage().acquire(input);  // keep the source copy alive
   PendingFetch fetch;
-  fetch.source = source;
   fetch.waiters.push_back(job.id);
+  auto [pit, inserted] = pending.emplace(input, std::move(fetch));
+  CHICSIM_ASSERT(inserted);
+  begin_transfer(dest, input, pit->second, source);
+}
+
+void FetchPlanner::begin_transfer(data::SiteIndex dest, data::DatasetId dataset,
+                                  PendingFetch& fetch, data::SiteIndex source) {
+  CHICSIM_ASSERT_MSG(sites_[source].alive(), "fetch source must be alive");
+  sites_[source].storage().acquire(dataset);  // keep the source copy alive
+  fetch.attempts = 0;  // progress: the no-progress backoff budget resets
+  fetch.source = source;
   fetch.transfer = transfers_.start(
-      source, dest, catalog_.size_mb(input), net::TransferPurpose::JobFetch,
-      [this, dest, input](net::TransferId) { on_fetch_complete(dest, input); });
-  pending.emplace(input, std::move(fetch));
+      source, dest, catalog_.size_mb(dataset), net::TransferPurpose::JobFetch,
+      [this, dest, dataset](net::TransferId) { on_fetch_complete(dest, dataset); });
+  arm_transfer_fault(dest, dataset, fetch.transfer, catalog_.size_mb(dataset));
+}
+
+void FetchPlanner::arm_transfer_fault(data::SiteIndex dest, data::DatasetId dataset,
+                                      net::TransferId transfer, util::Megabytes size_mb) {
+  if (config_.fault_transfer_fail_prob <= 0.0) return;
+  if (!rng_faults_.chance(config_.fault_transfer_fail_prob)) return;
+  // Fail mid-flight: somewhere inside the transfer's nominal uncontended
+  // duration. The completion race is harmless — a stale fault event is
+  // dropped by the transfer-id guard in on_transfer_fault.
+  double frac = rng_faults_.uniform(0.05, 0.95);
+  double nominal_s = size_mb / config_.link_bandwidth_mbps;
+  engine_.schedule_in(frac * nominal_s, "transfer_fault", [this, dest, dataset, transfer] {
+    on_transfer_fault(dest, dataset, transfer);
+  });
+}
+
+void FetchPlanner::on_transfer_fault(data::SiteIndex dest, data::DatasetId dataset,
+                                     net::TransferId transfer) {
+  auto& pending = pending_fetches_[dest];
+  auto it = pending.find(dataset);
+  // The targeted transfer may have completed (faster than its nominal
+  // duration) or been torn down by a crash; only the exact in-flight
+  // transfer is failable.
+  if (it == pending.end() || it->second.transfer != transfer) return;
+  fail_active_transfer(dest, dataset, it->second);
+}
+
+bool FetchPlanner::fail_fetch(data::SiteIndex dest, data::DatasetId dataset) {
+  CHICSIM_ASSERT_MSG(dest < pending_fetches_.size(), "site index out of range");
+  auto& pending = pending_fetches_[dest];
+  auto it = pending.find(dataset);
+  if (it == pending.end() || it->second.transfer == net::kNoTransfer) return false;
+  fail_active_transfer(dest, dataset, it->second);
+  return true;
+}
+
+void FetchPlanner::fail_active_transfer(data::SiteIndex dest, data::DatasetId dataset,
+                                        PendingFetch& fetch) {
+  CHICSIM_ASSERT(fetch.transfer != net::kNoTransfer);
+  transfers_.abort(fetch.transfer);
+  // The source pin is released against intact storage: a referenced entry
+  // cannot have been evicted, and crash teardown runs before the wipe.
+  sites_[fetch.source].storage().release(dataset);
+  fetch.transfer = net::kNoTransfer;
+  fetch.source = data::kNoSite;
+  schedule_retry(dest, dataset, fetch);
+}
+
+void FetchPlanner::schedule_retry(data::SiteIndex dest, data::DatasetId dataset,
+                                  PendingFetch& fetch) {
+  ++fetch.attempts;
+  if (fetch.attempts > config_.fetch_max_retries) {
+    throw util::SimError("fetch of dataset " + std::to_string(dataset) + " toward site " +
+                         std::to_string(dest) + " abandoned after " +
+                         std::to_string(config_.fetch_max_retries) +
+                         " attempts (fetch_max_retries)");
+  }
+  double delay = std::min(
+      config_.fetch_retry_base_s * static_cast<double>(1ULL << (fetch.attempts - 1)),
+      config_.fetch_retry_max_s);
+  fetch.retry_event = engine_.schedule_in(
+      delay, "fetch_retry", [this, dest, dataset] { retry_fetch(dest, dataset); });
+}
+
+void FetchPlanner::retry_fetch(data::SiteIndex dest, data::DatasetId dataset) {
+  auto& pending = pending_fetches_[dest];
+  auto it = pending.find(dataset);
+  CHICSIM_ASSERT_MSG(it != pending.end(), "fetch retry without pending record");
+  PendingFetch& fetch = it->second;
+  fetch.retry_event = sim::kNoEvent;
+  CHICSIM_ASSERT_MSG(fetch.transfer == net::kNoTransfer,
+                     "fetch retry while a transfer is on the wire");
+
+  if (sites_[dest].storage().contains(dataset)) {
+    // A replication push (or recovered master) landed the data here while
+    // we were backing off; complete without touching the network.
+    PendingFetch done = std::move(fetch);
+    pending.erase(it);
+    events_.emit(GridEvent{GridEventType::FetchCompleted, 0.0,
+                           done.waiters.empty() ? site::kNoJob : done.waiters.front(),
+                           dataset, dest, dest, catalog_.size_mb(dataset)});
+    (void)replication_.store_replica(dest, dataset);  // LRU touch
+    land_waiters(dest, dataset, done.waiters);
+    return;
+  }
+
+  ++transfer_retries_;
+  data::SiteIndex source = choose_source(dataset, dest);
+  events_.emit(GridEvent{GridEventType::TransferRetried, 0.0,
+                         fetch.waiters.empty() ? site::kNoJob : fetch.waiters.front(),
+                         dataset, source, dest, catalog_.size_mb(dataset)});
+  if (source == data::kNoSite) {
+    schedule_retry(dest, dataset, fetch);  // still nobody to serve it
+    return;
+  }
+  begin_transfer(dest, dataset, fetch, source);
+}
+
+void FetchPlanner::on_site_crashed(data::SiteIndex s) {
+  CHICSIM_ASSERT_MSG(s < pending_fetches_.size(), "site index out of range");
+
+  // Fetches toward the dead site die with it: abort the wire, unpin the
+  // (still intact) sources, drop the waiters wholesale — the JobLifecycle
+  // resets and resubmits those jobs right after this teardown.
+  auto& toward = pending_fetches_[s];
+  std::vector<data::DatasetId> keys;
+  keys.reserve(toward.size());
+  for (const auto& [dataset, fetch] : toward) keys.push_back(dataset);
+  std::sort(keys.begin(), keys.end());
+  for (data::DatasetId dataset : keys) {
+    PendingFetch& fetch = toward.at(dataset);
+    if (fetch.transfer != net::kNoTransfer) {
+      transfers_.abort(fetch.transfer);
+      sites_[fetch.source].storage().release(dataset);
+    }
+    if (fetch.retry_event != sim::kNoEvent) (void)engine_.cancel(fetch.retry_event);
+  }
+  toward.clear();
+
+  // Fetches *from* the dead site fail over immediately: some other live
+  // holder takes over, or the fetch parks until one resurfaces. The
+  // release below still lands on intact storage — the crash wipe runs
+  // after this teardown.
+  for (data::SiteIndex dest = 0; dest < pending_fetches_.size(); ++dest) {
+    if (dest == s) continue;
+    auto& pending = pending_fetches_[dest];
+    keys.clear();
+    for (const auto& [dataset, fetch] : pending) {
+      if (fetch.source == s) keys.push_back(dataset);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (data::DatasetId dataset : keys) {
+      PendingFetch& fetch = pending.at(dataset);
+      CHICSIM_ASSERT(fetch.transfer != net::kNoTransfer);
+      transfers_.abort(fetch.transfer);
+      sites_[s].storage().release(dataset);
+      fetch.transfer = net::kNoTransfer;
+      fetch.source = data::kNoSite;
+      retry_fetch(dest, dataset);
+    }
+  }
 }
 
 data::SiteIndex FetchPlanner::choose_source(data::DatasetId dataset, data::SiteIndex dest) {
   const auto& holders = replicas_.locations(dataset);
   CHICSIM_ASSERT_MSG(!holders.empty(), "fetch of a dataset with no replicas");
+
+  // Serve only from live holders that really have the file. A catalogued
+  // copy that physically vanished (silent corruption) is a lie: reconcile
+  // it out so nobody trips over it again. Dead holders stay catalogued —
+  // pinned masters survive the crash and serve again after recovery. In a
+  // fault-free run `live` is always the full holder list in catalog
+  // order, so selection below draws and ties exactly as it always has.
+  std::vector<data::SiteIndex> live;
+  std::vector<data::SiteIndex> lies;
+  live.reserve(holders.size());
+  for (data::SiteIndex h : holders) {
+    if (!sites_[h].storage().contains(dataset)) {
+      lies.push_back(h);
+      continue;
+    }
+    if (!sites_[h].alive()) continue;
+    live.push_back(h);
+  }
+  for (data::SiteIndex h : lies) {
+    bool removed = replicas_.remove(dataset, h);
+    CHICSIM_ASSERT(removed);
+    ++catalog_invalidations_;
+    events_.emit(GridEvent{GridEventType::CatalogInvalidated, 0.0, site::kNoJob, dataset,
+                           h, data::kNoSite, catalog_.size_mb(dataset)});
+  }
+  if (live.empty()) return data::kNoSite;
+
   switch (config_.replica_selection) {
     case ReplicaSelection::Random: {
-      return holders[rng_fetch_.index(holders.size())];
+      return live[rng_fetch_.index(live.size())];
     }
     case ReplicaSelection::Closest: {
-      data::SiteIndex best = holders.front();
-      for (data::SiteIndex h : holders) {
+      data::SiteIndex best = live.front();
+      for (data::SiteIndex h : live) {
         std::size_t dh = routing_.hops(h, dest);
         std::size_t db = routing_.hops(best, dest);
         if (dh < db || (dh == db && (sites_[h].load() < sites_[best].load() ||
@@ -90,8 +288,8 @@ data::SiteIndex FetchPlanner::choose_source(data::DatasetId dataset, data::SiteI
       return best;
     }
     case ReplicaSelection::LeastLoadedSource: {
-      data::SiteIndex best = holders.front();
-      for (data::SiteIndex h : holders) {
+      data::SiteIndex best = live.front();
+      for (data::SiteIndex h : live) {
         std::size_t lh = sites_[h].load();
         std::size_t lb = sites_[best].load();
         if (lh < lb || (lh == lb && (routing_.hops(h, dest) < routing_.hops(best, dest) ||
@@ -117,11 +315,15 @@ void FetchPlanner::on_fetch_complete(data::SiteIndex dest, data::DatasetId datas
   events_.emit(GridEvent{GridEventType::FetchCompleted, 0.0,
                          fetch.waiters.empty() ? site::kNoJob : fetch.waiters.front(),
                          dataset, fetch.source, dest, catalog_.size_mb(dataset)});
-  replication_.store_replica(dest, dataset);
+  (void)replication_.store_replica(dest, dataset);
+  land_waiters(dest, dataset, fetch.waiters);
+}
 
+void FetchPlanner::land_waiters(data::SiteIndex dest, data::DatasetId dataset,
+                                const std::vector<site::JobId>& waiters) {
   CHICSIM_ASSERT_MSG(jobs_ != nullptr, "fetch planner not wired");
   site::Site& site = sites_[dest];
-  for (site::JobId waiter : fetch.waiters) {
+  for (site::JobId waiter : waiters) {
     site::Job& job = jobs_->job_mut(waiter);
     CHICSIM_ASSERT(job.inputs_pending > 0);
     site.storage().acquire(dataset);

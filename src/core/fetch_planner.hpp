@@ -7,6 +7,13 @@
 // one in-flight fetch (later jobs join as waiters), selects the source
 // replica per the replica_selection policy against ground truth, and wakes
 // the Local Scheduler when data lands.
+//
+// Under fault injection (docs/robustness.md) the planner is also the
+// transfer-recovery layer: a failed or aborted fetch is retried with
+// exponential backoff, failing over to the next-best live replica source;
+// the coalesced waiters ride along untouched. Source selection never
+// serves from a dead site and eagerly reconciles replica-catalog entries
+// that turn out to be lies (silent catalog corruption).
 #pragma once
 
 #include <cstdint>
@@ -31,9 +38,9 @@ class ReplicationDriver;
 class FetchPlanner final {
  public:
   /// References are non-owning and must outlive the planner.
-  FetchPlanner(const SimulationConfig& config, const sim::Engine& engine,
+  FetchPlanner(const SimulationConfig& config, sim::Engine& engine,
                std::vector<site::Site>& sites, const data::DatasetCatalog& catalog,
-               const data::ReplicaCatalog& replicas, const net::Routing& routing,
+               data::ReplicaCatalog& replicas, const net::Routing& routing,
                net::TransferManager& transfers, ReplicationDriver& replication,
                EventSink& events);
 
@@ -47,31 +54,83 @@ class FetchPlanner final {
   /// Source-replica selection for a fetch toward `dest` (replica_selection
   /// policy; never returns dest). Selection reads the *ground-truth*
   /// replica catalog — the fetch machinery executes against reality even
-  /// when policies observe a stale snapshot.
+  /// when policies observe a stale snapshot. Dead holders are skipped and
+  /// catalogued-but-vanished copies are reconciled out of the catalog on
+  /// discovery; returns kNoSite when no live, truthful holder exists right
+  /// now (the caller parks the fetch and retries with backoff).
   [[nodiscard]] data::SiteIndex choose_source(data::DatasetId dataset,
                                               data::SiteIndex dest);
 
+  /// Force-fail the in-flight fetch of `dataset` toward `dest` (fault
+  /// injection). The transfer is aborted and the fetch rescheduled with
+  /// backoff; waiters are untouched. Returns false when no such transfer
+  /// is currently on the wire (nothing pending, or already backing off).
+  bool fail_fetch(data::SiteIndex dest, data::DatasetId dataset);
+
+  /// Site-crash teardown. Fetches *toward* the dead site are dropped with
+  /// their waiters (the JobLifecycle resubmits those jobs); fetches *from*
+  /// it immediately fail over to another live source, or back off when
+  /// none exists. Must run while the dead site's storage is still intact
+  /// (source pins are released against it) and before the JobLifecycle
+  /// resets the stranded jobs.
+  void on_site_crashed(data::SiteIndex s);
+
   /// Job-driven transfers started (diagnostic).
   [[nodiscard]] std::uint64_t remote_fetches() const { return remote_fetches_; }
+
+  /// Retry/failover rounds after failed or sourceless fetches (diagnostic).
+  [[nodiscard]] std::uint64_t transfer_retries() const { return transfer_retries_; }
+
+  /// Catalog lies discovered and reconciled during source selection.
+  [[nodiscard]] std::uint64_t catalog_invalidations() const {
+    return catalog_invalidations_;
+  }
 
   /// Datasets currently being fetched toward `dest` (test seam).
   [[nodiscard]] std::size_t pending_fetches(data::SiteIndex dest) const;
 
  private:
   /// A fetch in flight toward one site, shared by all jobs awaiting it.
+  /// While backing off between attempts, transfer/source are the sentinels
+  /// and retry_event holds the scheduled retry.
   struct PendingFetch {
     net::TransferId transfer = net::kNoTransfer;
     data::SiteIndex source = data::kNoSite;
     std::vector<site::JobId> waiters;
+    std::uint32_t attempts = 0;  ///< failed transfers + empty-handed polls
+    sim::EventId retry_event = sim::kNoEvent;
   };
 
+  /// Pin `source`'s copy and put the transfer on the wire (arming the
+  /// stochastic failure draw when fault_transfer_fail_prob > 0).
+  void begin_transfer(data::SiteIndex dest, data::DatasetId dataset, PendingFetch& fetch,
+                      data::SiteIndex source);
+  /// Draw this transfer's fate from the dedicated "transfer_faults"
+  /// substream; on failure, schedule the mid-flight fault event.
+  void arm_transfer_fault(data::SiteIndex dest, data::DatasetId dataset,
+                          net::TransferId transfer, util::Megabytes size_mb);
+  void on_transfer_fault(data::SiteIndex dest, data::DatasetId dataset,
+                         net::TransferId transfer);
+  /// Abort the active transfer, release the source pin, move the fetch
+  /// into its backoff state and schedule the next attempt.
+  void fail_active_transfer(data::SiteIndex dest, data::DatasetId dataset,
+                            PendingFetch& fetch);
+  /// Count the attempt and schedule retry_fetch after the capped
+  /// exponential backoff; throws SimError past fetch_max_retries.
+  void schedule_retry(data::SiteIndex dest, data::DatasetId dataset, PendingFetch& fetch);
+  /// One retry round: complete locally if the data landed meanwhile,
+  /// otherwise re-select a source (failover) or back off again.
+  void retry_fetch(data::SiteIndex dest, data::DatasetId dataset);
   void on_fetch_complete(data::SiteIndex dest, data::DatasetId dataset);
+  /// Deliver an arrived dataset to every waiter and wake the site's LS.
+  void land_waiters(data::SiteIndex dest, data::DatasetId dataset,
+                    const std::vector<site::JobId>& waiters);
 
   const SimulationConfig& config_;
-  const sim::Engine& engine_;
+  sim::Engine& engine_;
   std::vector<site::Site>& sites_;
   const data::DatasetCatalog& catalog_;
-  const data::ReplicaCatalog& replicas_;
+  data::ReplicaCatalog& replicas_;
   const net::Routing& routing_;
   net::TransferManager& transfers_;
   ReplicationDriver& replication_;
@@ -79,11 +138,14 @@ class FetchPlanner final {
   JobRunner* jobs_ = nullptr;
 
   util::Rng rng_fetch_;
+  util::Rng rng_faults_;  ///< per-transfer failure draws; untouched otherwise
 
   /// Per destination site: datasets currently being fetched there.
   std::vector<std::unordered_map<data::DatasetId, PendingFetch>> pending_fetches_;
 
   std::uint64_t remote_fetches_ = 0;
+  std::uint64_t transfer_retries_ = 0;
+  std::uint64_t catalog_invalidations_ = 0;
 };
 
 }  // namespace chicsim::core

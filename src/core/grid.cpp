@@ -73,6 +73,9 @@ void Grid::wire_services() {
                                               bus_, collector_, [this] { finish_run(); });
   fetch_->bind_jobs(*lifecycle_);
   replication_->bind_jobs(*lifecycle_);
+  injector_ = std::make_unique<FaultInjector>(config_, engine_, logger_, sites_, catalog_,
+                                              *replica_catalog_, topology_, *transfers_,
+                                              *fetch_, *replication_, *lifecycle_, bus_);
 }
 
 const site::Site& Grid::site_at(data::SiteIndex s) const {
@@ -108,18 +111,52 @@ void Grid::inject_link_degradation(net::LinkId link, util::SimTime at, double sc
   CHICSIM_ASSERT_MSG(!ran_, "fault injection must be scheduled before run()");
   CHICSIM_ASSERT_MSG(link < topology_.link_count(), "link id out of range");
   CHICSIM_ASSERT_MSG(scale > 0.0, "bandwidth scale must be positive");
-  engine_.schedule_at(at, "fault_injection", [this, link, scale] {
-    logger_.info("link " + std::to_string(link) + " bandwidth scaled to " +
-                 util::format_fixed(scale, 3));
-    transfers_->set_bandwidth_scale(link, scale);
-  });
+  // One injection mechanism: the action joins the same FaultPlan as every
+  // other fault and flows through the FaultInjector (GridEvent emission,
+  // counters, observability) instead of a bespoke calendar lambda.
+  scripted_faults_.degrade_link(at, link, scale);
 }
+
+void Grid::add_fault_plan(const FaultPlan& plan) {
+  CHICSIM_ASSERT_MSG(!ran_, "fault plans must be added before run()");
+  for (const FaultAction& a : plan.actions()) {
+    switch (a.kind) {
+      case FaultKind::SiteCrash:
+      case FaultKind::SiteRecover:
+        CHICSIM_ASSERT_MSG(a.site < sites_.size(), "fault plan names an unknown site");
+        break;
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkRestore:
+        CHICSIM_ASSERT_MSG(a.link < topology_.link_count(), "fault plan names an unknown link");
+        CHICSIM_ASSERT_MSG(a.scale > 0.0, "bandwidth scale must be positive");
+        break;
+      case FaultKind::TransferAbort:
+        CHICSIM_ASSERT_MSG(a.dest < sites_.size(), "fault plan names an unknown site");
+        CHICSIM_ASSERT_MSG(a.dataset < catalog_.size(), "fault plan names an unknown dataset");
+        break;
+      case FaultKind::CatalogEntryLoss:
+        CHICSIM_ASSERT_MSG(a.dataset < catalog_.size(), "fault plan names an unknown dataset");
+        break;
+    }
+  }
+  scripted_faults_.append(plan);
+}
+
+const FaultStats& Grid::fault_stats() const { return injector_->stats(); }
 
 // --- run loop ---
 
 void Grid::run() {
   CHICSIM_ASSERT_MSG(!ran_, "Grid::run may be called once");
   ran_ = true;
+  // Merge the stochastic streams (config rates) with everything scripted
+  // and put the whole schedule on the calendar before the first
+  // submission, so fault/submission ties at the same instant resolve in a
+  // reproducible order. An empty plan schedules nothing: zero events, zero
+  // RNG draws — bit-identical to a fault-free build.
+  FaultPlan plan = FaultPlan::generate(config_);
+  plan.append(scripted_faults_);
+  injector_->schedule(plan);
   lifecycle_->start();
   replication_->start();
   engine_.run();
@@ -136,15 +173,25 @@ void Grid::finish_run() {
   util::SimTime makespan = engine_.now();
   for (auto& site : sites_) site.compute().settle(makespan);
   replication_->stop();
+  // Scrub replica-catalog lies the run never tripped over (silent
+  // corruption stream) before anything audits or reports the catalog.
+  std::uint64_t scrubbed = injector_->reconcile_catalog();
   metrics_ = collector_.finalize(makespan, sites_, *transfers_);
   metrics_.remote_fetches = fetch_->remote_fetches();
   metrics_.replications = replication_->replications_started();
+  metrics_.site_crashes = injector_->stats().site_crashes;
+  metrics_.site_recoveries = injector_->stats().site_recoveries;
+  metrics_.jobs_resubmitted = lifecycle_->jobs_resubmitted();
+  metrics_.transfer_retries = fetch_->transfer_retries();
+  metrics_.output_retries = lifecycle_->output_retries();
+  metrics_.catalog_invalidations = fetch_->catalog_invalidations() + scrubbed;
   metrics_.events_executed = engine_.events_executed();
   metrics_.event_pushes = engine_.queue().total_pushes();
   metrics_.event_cancels = engine_.queue().total_cancels();
   metrics_.peak_heap_size = engine_.queue().peak_heap_size();
   metrics_.queue_compactions = engine_.queue().compactions();
   const net::TransferStats& ts = transfers_->stats();
+  metrics_.transfers_aborted = ts.transfers_aborted;
   metrics_.reallocations = ts.reallocations;
   metrics_.flows_rescheduled = ts.flows_rescheduled;
   metrics_.reschedules_skipped = ts.reschedules_skipped;

@@ -25,6 +25,7 @@
 
 #include "core/config.hpp"
 #include "core/events.hpp"
+#include "core/faults.hpp"
 #include "core/fetch_planner.hpp"
 #include "core/info_service.hpp"
 #include "core/job_lifecycle.hpp"
@@ -72,8 +73,20 @@ class Grid final {
   /// Fault injection: at virtual time `at`, scale the effective bandwidth
   /// of `link` to nominal x `scale` (e.g. 0.01 models a near-failure; 1.0
   /// restores). May be called multiple times per link with increasing
-  /// times. Must be called before run().
+  /// times. Must be called before run(). Sugar for
+  /// add_fault_plan(FaultPlan().degrade_link(at, link, scale)) with eager
+  /// argument validation.
   void inject_link_degradation(net::LinkId link, util::SimTime at, double scale);
+
+  /// Append a scripted failure schedule (docs/robustness.md). Composes
+  /// with any earlier plans and with the stochastic streams the config's
+  /// fault_* rates generate; everything is merged and scheduled at run().
+  /// Must be called before run().
+  void add_fault_plan(const FaultPlan& plan);
+
+  /// Fault/recovery counters of the injector (valid anytime; zeros when
+  /// nothing was injected).
+  [[nodiscard]] const FaultStats& fault_stats() const;
 
   /// Execute until every job has completed. Callable once.
   void run();
@@ -138,6 +151,8 @@ class Grid final {
   std::unique_ptr<ReplicationDriver> replication_;
   std::unique_ptr<FetchPlanner> fetch_;
   std::unique_ptr<JobLifecycle> lifecycle_;
+  std::unique_ptr<FaultInjector> injector_;
+  FaultPlan scripted_faults_;
 
   MetricsCollector collector_;
   RunMetrics metrics_;

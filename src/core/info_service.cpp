@@ -49,6 +49,24 @@ void InfoService::refresh_replicas() const {
   }
 }
 
+void InfoService::refresh_alive() const {
+  util::SimTime epoch = current_epoch();
+  if (epoch > alive_epoch_ || alive_snapshot_.size() != sites_.size()) {
+    alive_snapshot_.resize(sites_.size());
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      alive_snapshot_[i] = sites_[i].alive() ? 1 : 0;
+    }
+    alive_epoch_ = epoch;
+  }
+}
+
+bool InfoService::site_alive(data::SiteIndex s) const {
+  CHICSIM_ASSERT_MSG(s < sites_.size(), "site index out of range");
+  if (config_.info_staleness_s <= 0.0) return sites_[s].alive();
+  refresh_alive();
+  return alive_snapshot_[s] != 0;
+}
+
 std::size_t InfoService::site_load(data::SiteIndex s) const {
   CHICSIM_ASSERT_MSG(s < sites_.size(), "site index out of range");
   if (config_.info_staleness_s <= 0.0) return sites_[s].load();

@@ -44,6 +44,7 @@ class InfoService final : public GridView {
   // --- GridView ---
   [[nodiscard]] std::size_t num_sites() const override { return sites_.size(); }
   [[nodiscard]] std::size_t site_load(data::SiteIndex s) const override;
+  [[nodiscard]] bool site_alive(data::SiteIndex s) const override;
   [[nodiscard]] std::size_t site_compute_elements(data::SiteIndex s) const override;
   [[nodiscard]] double site_speed_factor(data::SiteIndex s) const override;
   [[nodiscard]] const std::vector<data::SiteIndex>& replica_sites(
@@ -68,6 +69,7 @@ class InfoService final : public GridView {
   /// refresh independently, each at its first query inside the epoch.
   void refresh_loads() const;
   void refresh_replicas() const;
+  void refresh_alive() const;
 
   const SimulationConfig& config_;
   const sim::Engine& engine_;
@@ -83,6 +85,8 @@ class InfoService final : public GridView {
   mutable util::SimTime load_epoch_ = -1.0;
   mutable std::vector<std::vector<data::SiteIndex>> replica_snapshot_;
   mutable util::SimTime replica_epoch_ = -1.0;
+  mutable std::vector<std::uint8_t> alive_snapshot_;
+  mutable util::SimTime alive_epoch_ = -1.0;
 };
 
 }  // namespace chicsim::core

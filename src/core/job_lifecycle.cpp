@@ -1,5 +1,7 @@
 #include "core/job_lifecycle.hpp"
 
+#include <algorithm>
+
 #include "core/factory.hpp"
 #include "core/fetch_planner.hpp"
 #include "util/error.hpp"
@@ -52,6 +54,8 @@ void JobLifecycle::instantiate_jobs() {
   }
   users_.resize(workload_.num_users());
   for (site::UserId u = 0; u < users_.size(); ++u) users_[u] = User{u, 0};
+  compute_events_.assign(jobs_.size(), sim::kNoEvent);
+  output_transfers_.assign(jobs_.size(), net::kNoTransfer);
 }
 
 const site::Job& JobLifecycle::job(site::JobId id) const {
@@ -128,9 +132,41 @@ void JobLifecycle::central_process_next() {
 void JobLifecycle::decide_and_dispatch(site::Job& job) {
   data::SiteIndex dest = es_->select_site(job, view_, rng_es_);
   CHICSIM_ASSERT_MSG(dest < sites_.size(), "scheduler chose an invalid site");
+  if (!sites_[dest].alive()) {
+    // The policy routed to a dead site — its view lags reality by up to
+    // one staleness epoch, and JobLocal has no choice but its home. Hold
+    // the job and re-consult the ES after a backoff.
+    logger_.lazy(util::LogLevel::Debug, [&] {
+      return job.describe() + " -> site " + std::to_string(dest) + " (down; holding)";
+    });
+    resubmit_with_backoff(job, dest);
+    return;
+  }
   logger_.lazy(util::LogLevel::Debug,
                [&] { return job.describe() + " -> site " + std::to_string(dest); });
   dispatch(job, dest);
+}
+
+void JobLifecycle::resubmit_with_backoff(site::Job& job, data::SiteIndex stranded_site) {
+  CHICSIM_ASSERT_MSG(job.state == site::JobState::Submitted,
+                     "only submitted jobs can be resubmitted");
+  ++job.resubmissions;
+  ++jobs_resubmitted_;
+  if (job.resubmissions > config_.max_job_resubmissions) {
+    throw util::SimError(job.describe() + " exceeded max_job_resubmissions (" +
+                         std::to_string(config_.max_job_resubmissions) +
+                         "); the grid cannot place it");
+  }
+  events_.emit(GridEvent{GridEventType::JobResubmitted, 0.0, job.id, data::kNoDataset,
+                         stranded_site, data::kNoSite, 0.0});
+  // Capped exponential backoff: quick first retry (the common transient),
+  // but a grid-wide outage does not busy-loop the calendar.
+  double delay = std::min(
+      config_.resubmit_backoff_s * static_cast<double>(1ULL << std::min<std::uint32_t>(
+                                       job.resubmissions - 1, 4)),
+      16.0 * config_.resubmit_backoff_s);
+  site::JobId id = job.id;
+  engine_.schedule_in(delay, "job_resubmit", [this, id] { decide_and_dispatch(job_mut(id)); });
 }
 
 void JobLifecycle::dispatch(site::Job& job, data::SiteIndex dest) {
@@ -155,6 +191,7 @@ void JobLifecycle::dispatch(site::Job& job, data::SiteIndex dest) {
 
 void JobLifecycle::try_start_jobs(data::SiteIndex s) {
   site::Site& site = sites_[s];
+  if (!site.alive()) return;  // a dead site starts nothing
   auto job_of = [this](site::JobId id) -> const site::Job& { return job(id); };
   while (site.compute().idle() > 0) {
     site::JobId next = ls_->pick_next(site.queue(), job_of);
@@ -169,14 +206,16 @@ void JobLifecycle::try_start_jobs(data::SiteIndex s) {
     job.start_time = engine_.now();
     events_.emit(GridEvent{GridEventType::JobStarted, 0.0, next, data::kNoDataset, s,
                            data::kNoSite, 0.0});
-    engine_.schedule_in(job.runtime_s / site.speed_factor(), "compute_done",
-                        [this, next] { on_compute_complete(next); });
+    compute_events_[next - 1] = engine_.schedule_in(
+        job.runtime_s / site.speed_factor(), "compute_done",
+        [this, next] { on_compute_complete(next); });
   }
 }
 
 void JobLifecycle::on_compute_complete(site::JobId id) {
   site::Job& job = job_mut(id);
   CHICSIM_ASSERT(job.state == site::JobState::Running);
+  compute_events_[id - 1] = sim::kNoEvent;
   job.compute_done_time = engine_.now();
   events_.emit(GridEvent{GridEventType::JobComputeDone, 0.0, id, data::kNoDataset,
                          job.exec_site, data::kNoSite, 0.0});
@@ -197,13 +236,93 @@ void JobLifecycle::on_compute_complete(site::JobId id) {
     output_mb *= config_.output_fraction;
     if (output_mb > 0.0) {
       job.state = site::JobState::ReturningOutput;
-      transfers_.start(job.exec_site, job.origin_site, output_mb,
-                       net::TransferPurpose::OutputReturn,
-                       [this, id](net::TransferId) { finalize_job(id); });
+      start_output_return(id, output_mb);
       return;
     }
   }
   finalize_job(id);
+}
+
+void JobLifecycle::start_output_return(site::JobId id, util::Megabytes output_mb) {
+  site::Job& job = job_mut(id);
+  CHICSIM_ASSERT(job.state == site::JobState::ReturningOutput);
+  if (!sites_[job.origin_site].alive()) {
+    // The home archive is down: hold the output at the exec site and try
+    // again after a backoff. If the *exec* site crashes meanwhile the job
+    // is resubmitted wholesale and the pending retry below goes stale —
+    // the resubmission-generation guard drops it.
+    ++job.output_retries;
+    ++output_retries_total_;
+    if (job.output_retries > config_.max_job_resubmissions) {
+      throw util::SimError(job.describe() +
+                           " could not return its output: origin site down past " +
+                           std::to_string(config_.max_job_resubmissions) + " retries");
+    }
+    events_.emit(GridEvent{GridEventType::TransferRetried, 0.0, id, data::kNoDataset,
+                           data::kNoSite, job.origin_site, output_mb});
+    std::uint32_t generation = job.resubmissions;
+    engine_.schedule_in(config_.resubmit_backoff_s, "output_retry",
+                        [this, id, output_mb, generation] {
+                          site::Job& j = job_mut(id);
+                          if (j.state != site::JobState::ReturningOutput ||
+                              j.resubmissions != generation) {
+                            return;
+                          }
+                          start_output_return(id, output_mb);
+                        });
+    return;
+  }
+  output_transfers_[id - 1] = transfers_.start(
+      job.exec_site, job.origin_site, output_mb, net::TransferPurpose::OutputReturn,
+      [this, id](net::TransferId) {
+        output_transfers_[id - 1] = net::kNoTransfer;
+        finalize_job(id);
+      });
+}
+
+void JobLifecycle::on_site_crashed(data::SiteIndex s) {
+  // Walk the job table in id order (deterministic, independent of queue or
+  // map iteration order) and strand-handle everything executing at s.
+  for (site::JobId id = 1; id <= jobs_.size(); ++id) {
+    site::Job& job = jobs_[id - 1];
+    if (job.exec_site != s) continue;
+    switch (job.state) {
+      case site::JobState::Queued:
+        break;  // the site queue itself is drained below
+      case site::JobState::Running: {
+        sim::EventId event = compute_events_[id - 1];
+        CHICSIM_ASSERT_MSG(event != sim::kNoEvent, "running job without a compute event");
+        (void)engine_.cancel(event);
+        compute_events_[id - 1] = sim::kNoEvent;
+        sites_[s].compute().release(engine_.now());
+        sites_[s].note_job_killed();
+        break;
+      }
+      case site::JobState::ReturningOutput: {
+        net::TransferId transfer = output_transfers_[id - 1];
+        if (transfer != net::kNoTransfer) {
+          transfers_.abort(transfer);
+          output_transfers_[id - 1] = net::kNoTransfer;
+        }
+        break;
+      }
+      default:
+        continue;  // Created/Submitted/Completed are not stranded at s
+    }
+    // Back to freshly-submitted. Input pins died with the storage wipe
+    // (which ran before this call), so nothing is released here; every
+    // timestamp except submit_time restarts, so the recorded response
+    // time includes the crash and the rerun.
+    job.state = site::JobState::Submitted;
+    job.exec_site = data::kNoSite;
+    job.inputs_pending = 0;
+    job.dispatch_time = -1.0;
+    job.data_ready_time = -1.0;
+    job.start_time = -1.0;
+    job.compute_done_time = -1.0;
+    resubmit_with_backoff(job, s);
+  }
+  (void)sites_[s].drain_queue();
 }
 
 void JobLifecycle::finalize_job(site::JobId id) {

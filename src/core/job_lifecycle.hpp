@@ -72,6 +72,20 @@ class JobLifecycle final : public JobRunner {
   [[nodiscard]] site::Job& job_mut(site::JobId id) override;
   void try_start_jobs(data::SiteIndex s) override;
 
+  // --- fault recovery (docs/robustness.md) ---
+  /// Site-crash recovery: every job stranded on `s` (queued, running, or
+  /// returning output) is killed, reset to Submitted, and handed back to
+  /// the External Scheduler after a backoff — bounded by
+  /// max_job_resubmissions. Runs after the fetch/replication teardown and
+  /// the storage wipe, so the ES decides against the post-crash world.
+  void on_site_crashed(data::SiteIndex s);
+
+  /// Jobs re-queued after a crash or a dead-site placement (diagnostic).
+  [[nodiscard]] std::uint64_t jobs_resubmitted() const { return jobs_resubmitted_; }
+
+  /// Output-return transfers deferred because the origin was down.
+  [[nodiscard]] std::uint64_t output_retries() const { return output_retries_total_; }
+
  private:
   struct User {
     site::UserId id = 0;
@@ -88,9 +102,15 @@ class JobLifecycle final : public JobRunner {
   /// Compute finished: free the processor, release inputs, ship output
   /// home when the output extension is active.
   void on_compute_complete(site::JobId id);
+  /// Start (or, origin down, defer with backoff) the output-return leg.
+  void start_output_return(site::JobId id, util::Megabytes output_mb);
   /// The job is fully done (output landed, if any): record and continue
   /// the user's closed loop.
   void finalize_job(site::JobId id);
+  /// Put a Submitted job back in front of the ES after a capped
+  /// exponential backoff; `stranded_site` is the site that failed it.
+  /// Throws SimError past max_job_resubmissions.
+  void resubmit_with_backoff(site::Job& job, data::SiteIndex stranded_site);
 
   const SimulationConfig& config_;
   sim::Engine& engine_;
@@ -112,11 +132,19 @@ class JobLifecycle final : public JobRunner {
   std::vector<site::Job> jobs_;  ///< by id-1
   std::vector<User> users_;
 
+  /// Per job (by id-1): the pending compute-done calendar event while
+  /// Running, and the in-flight output-return transfer while
+  /// ReturningOutput — the handles a site crash needs to kill cleanly.
+  std::vector<sim::EventId> compute_events_;
+  std::vector<net::TransferId> output_transfers_;
+
   /// Centralized ES mapping: submissions awaiting their scheduling decision.
   std::deque<site::JobId> central_queue_;
   bool central_busy_ = false;
 
   std::uint64_t completed_jobs_ = 0;
+  std::uint64_t jobs_resubmitted_ = 0;
+  std::uint64_t output_retries_total_ = 0;
 };
 
 }  // namespace chicsim::core

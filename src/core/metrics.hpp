@@ -61,6 +61,16 @@ struct RunMetrics {
   std::uint64_t cache_evictions = 0;
   std::uint64_t jobs_run_at_origin = 0; ///< placement locality
 
+  // Fault injection / recovery (docs/robustness.md). All zero in a
+  // fault-free run.
+  std::uint64_t site_crashes = 0;
+  std::uint64_t site_recoveries = 0;
+  std::uint64_t jobs_resubmitted = 0;      ///< crash kills + dead-site placements
+  std::uint64_t transfer_retries = 0;      ///< fetch retry/failover rounds
+  std::uint64_t output_retries = 0;        ///< output returns deferred (origin down)
+  std::uint64_t transfers_aborted = 0;     ///< flows torn off the wire
+  std::uint64_t catalog_invalidations = 0; ///< replica-catalog lies reconciled
+
   // Engine / network hot-path counters (perf diagnostics, docs/metrics.md).
   // The calendar traffic (events, pushes, cancels, heap shape) and
   // flows_rescheduled are identical between the Full and Incremental

@@ -1,5 +1,7 @@
 #include "core/replication_driver.hpp"
 
+#include <algorithm>
+
 #include "core/factory.hpp"
 #include "util/error.hpp"
 
@@ -150,33 +152,61 @@ void ReplicationDriver::start_replication(data::SiteIndex from, data::DatasetId 
                                           data::SiteIndex dest) {
   CHICSIM_ASSERT_MSG(dest < sites_.size(), "replication to invalid site");
   if (dest == from) return;
+  if (!sites_[from].alive() || !sites_[dest].alive()) return;
   if (replicas_.has(dataset, dest)) return;
   if (!sites_[from].storage().contains(dataset)) return;
   std::uint64_t key = push_key(dataset, dest);
   if (pending_pushes_.count(key) > 0) return;
-  pending_pushes_.insert(key);
+  pending_pushes_.emplace(key, PushRecord{from, dataset, dest, net::kNoTransfer});
   ++inbound_pushes_[dest];
   ++replications_started_;
   events_.emit(GridEvent{GridEventType::ReplicationStarted, 0.0, site::kNoJob, dataset,
                          from, dest, catalog_.size_mb(dataset)});
   sites_[from].storage().acquire(dataset);
-  transfers_.start(from, dest, catalog_.size_mb(dataset), net::TransferPurpose::Replication,
-                   [this, from, dataset, dest, key](net::TransferId) {
-                     pending_pushes_.erase(key);
-                     CHICSIM_ASSERT(inbound_pushes_[dest] > 0);
-                     --inbound_pushes_[dest];
-                     sites_[from].storage().release(dataset);
-                     events_.emit(GridEvent{GridEventType::ReplicationCompleted, 0.0,
-                                            site::kNoJob, dataset, from, dest,
-                                            catalog_.size_mb(dataset)});
-                     auto outcome = store_replica(dest, dataset);
-                     // A push that landed over capacity has no takers (no
-                     // job references it); drop it rather than let it squat
-                     // above the storage budget.
-                     if (outcome.transient) (void)sites_[dest].storage().evict(dataset);
-                     CHICSIM_ASSERT_MSG(jobs_ != nullptr, "replication driver not wired");
-                     jobs_->try_start_jobs(dest);
-                   });
+  net::TransferId transfer = transfers_.start(
+      from, dest, catalog_.size_mb(dataset), net::TransferPurpose::Replication,
+      [this, from, dataset, dest, key](net::TransferId) {
+        pending_pushes_.erase(key);
+        CHICSIM_ASSERT(inbound_pushes_[dest] > 0);
+        --inbound_pushes_[dest];
+        sites_[from].storage().release(dataset);
+        events_.emit(GridEvent{GridEventType::ReplicationCompleted, 0.0,
+                               site::kNoJob, dataset, from, dest,
+                               catalog_.size_mb(dataset)});
+        auto outcome = store_replica(dest, dataset);
+        // A push that landed over capacity has no takers (no
+        // job references it); drop it rather than let it squat
+        // above the storage budget.
+        if (outcome.transient) (void)sites_[dest].storage().evict(dataset);
+        CHICSIM_ASSERT_MSG(jobs_ != nullptr, "replication driver not wired");
+        jobs_->try_start_jobs(dest);
+      });
+  // Completion runs through the calendar, never synchronously, so the
+  // record is still there to take the wire handle.
+  auto it = pending_pushes_.find(key);
+  CHICSIM_ASSERT(it != pending_pushes_.end());
+  it->second.transfer = transfer;
+}
+
+void ReplicationDriver::on_site_crashed(data::SiteIndex s) {
+  // Collect the doomed pushes first (sorted: map order is not
+  // deterministic), then tear each down. Source pins release against
+  // storage that is still intact — the crash wipe runs after this.
+  std::vector<PushRecord> doomed;
+  for (const auto& [key, record] : pending_pushes_) {
+    if (record.from == s || record.dest == s) doomed.push_back(record);
+  }
+  std::sort(doomed.begin(), doomed.end(), [](const PushRecord& a, const PushRecord& b) {
+    return a.dataset != b.dataset ? a.dataset < b.dataset : a.dest < b.dest;
+  });
+  for (const PushRecord& record : doomed) {
+    CHICSIM_ASSERT(record.transfer != net::kNoTransfer);
+    transfers_.abort(record.transfer);
+    CHICSIM_ASSERT(inbound_pushes_[record.dest] > 0);
+    --inbound_pushes_[record.dest];
+    sites_[record.from].storage().release(record.dataset);
+    pending_pushes_.erase(push_key(record.dataset, record.dest));
+  }
 }
 
 }  // namespace chicsim::core

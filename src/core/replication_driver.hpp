@@ -63,10 +63,16 @@ class ReplicationDriver final {
                    data::SiteIndex client, data::SiteIndex fetch_dest);
 
   /// Asynchronously push `dataset` from `from` to `dest`; no-op when the
-  /// destination already holds it, the source lost it, or an identical
-  /// push is already in flight.
+  /// destination already holds it, the source lost it, an identical push
+  /// is already in flight, or either endpoint is down (a DS acting on a
+  /// stale view must not ship bytes to a dead site).
   void start_replication(data::SiteIndex from, data::DatasetId dataset,
                          data::SiteIndex dest);
+
+  /// Site-crash teardown: abort every in-flight push from or toward `s`
+  /// (source pins are released against still-intact storage, so this must
+  /// run before the crash wipes `s`'s cache).
+  void on_site_crashed(data::SiteIndex s);
 
   /// Register an arrived copy at `s`: storage add (with LRU eviction),
   /// replica-catalog sync. Returns the storage outcome so callers can react
@@ -105,8 +111,16 @@ class ReplicationDriver final {
   std::unique_ptr<sim::PeriodicTimer> timer_;
   util::Rng rng_ds_;
 
+  /// One in-flight push (crash teardown needs the source and the wire).
+  struct PushRecord {
+    data::SiteIndex from = data::kNoSite;
+    data::DatasetId dataset = data::kNoDataset;
+    data::SiteIndex dest = data::kNoSite;
+    net::TransferId transfer = net::kNoTransfer;
+  };
+
   /// Replication pushes in flight, keyed (dataset, dest) to avoid duplicates.
-  std::unordered_set<std::uint64_t> pending_pushes_;
+  std::unordered_map<std::uint64_t, PushRecord> pending_pushes_;
   /// In-flight replication pushes per destination site.
   std::vector<std::size_t> inbound_pushes_;
   /// Per site: how often each remote site's community fetched each local dataset.

@@ -41,6 +41,19 @@ std::string render_run_summary(const RunMetrics& m) {
                             std::to_string(m.flows_rescheduled) + ", kept " +
                             std::to_string(m.reschedules_skipped) + ", rate-skip " +
                             std::to_string(m.rate_recomputes_skipped) + ")");
+  // Fault/recovery block only when something actually went wrong; a
+  // fault-free run's summary is byte-identical to pre-fault builds.
+  if (m.site_crashes + m.transfer_retries + m.jobs_resubmitted + m.output_retries +
+          m.catalog_invalidations + m.transfers_aborted >
+      0) {
+    line("site crashes / recoveries",
+         std::to_string(m.site_crashes) + " / " + std::to_string(m.site_recoveries));
+    line("jobs resubmitted", std::to_string(m.jobs_resubmitted));
+    line("transfer retries", std::to_string(m.transfer_retries) + " (output " +
+                                 std::to_string(m.output_retries) + ", aborted " +
+                                 std::to_string(m.transfers_aborted) + ")");
+    line("catalog invalidations", std::to_string(m.catalog_invalidations));
+  }
   return out;
 }
 

@@ -31,6 +31,16 @@ class GridView {
   /// The paper's load metric: number of jobs waiting to run at the site.
   [[nodiscard]] virtual std::size_t site_load(data::SiteIndex site) const = 0;
 
+  /// Whether the information service believes the site is up. Like loads
+  /// and replica locations this is staleness-delayed: a freshly crashed
+  /// site keeps looking alive until the next publication epoch, so
+  /// policies can route to it and the dispatch machinery must re-check
+  /// ground truth. Defaults to true so fault-oblivious views stay valid.
+  [[nodiscard]] virtual bool site_alive(data::SiteIndex site) const {
+    (void)site;
+    return true;
+  }
+
   /// Compute elements at the site (for completion-time estimates).
   [[nodiscard]] virtual std::size_t site_compute_elements(data::SiteIndex site) const = 0;
 

@@ -59,9 +59,13 @@ void SiteMetricsObserver::on_event(const GridEvent& e) {
       break;
     case GridEventType::FetchStarted:
       registry_.counter("fetches_started", site_dim(e.site_b)).add();
-      registry_.counter("fetches_served", site_dim(e.site_a)).add();
       registry_.histogram("fetch_size_mb", site_dim(e.site_b)).observe(e.mb);
-      count_link_traffic(e.site_a, e.site_b, e.mb);
+      // site_a is kNoSite when the fetch parks with no live source (fault
+      // recovery): nothing is served and no bytes hit the wire yet.
+      if (e.site_a != data::kNoSite) {
+        registry_.counter("fetches_served", site_dim(e.site_a)).add();
+        count_link_traffic(e.site_a, e.site_b, e.mb);
+      }
       break;
     case GridEventType::FetchJoined:
       registry_.counter("fetches_joined", site_dim(e.site_b)).add();
@@ -93,6 +97,33 @@ void SiteMetricsObserver::on_event(const GridEvent& e) {
           .set(static_cast<double>(stored.value) - static_cast<double>(evicted.value));
       break;
     }
+    case GridEventType::SiteFailed:
+      registry_.counter("site_crashes", site_dim(e.site_a)).add();
+      break;
+    case GridEventType::SiteRecovered:
+      registry_.counter("site_recoveries", site_dim(e.site_a)).add();
+      break;
+    case GridEventType::TransferRetried: {
+      // Count the retry against the destination; a failover that found a
+      // new source also puts fresh bytes on the wire.
+      registry_.counter("transfer_retries", site_dim(e.site_b)).add();
+      if (e.site_a != data::kNoSite) count_link_traffic(e.site_a, e.site_b, e.mb);
+      break;
+    }
+    case GridEventType::JobResubmitted: {
+      registry_.counter("jobs_resubmitted", site_dim(e.site_a)).add();
+      // The recorded dispatch never led to a start; drop it so the queue
+      // wait histogram only sees attempts that ran.
+      dispatch_time_.erase(e.job);
+      break;
+    }
+    case GridEventType::CatalogInvalidated:
+      registry_.counter("catalog_invalidations", site_dim(e.site_a)).add();
+      break;
+    case GridEventType::LinkDegraded:
+      // Link endpoints may be routers; site_dims_ covers every node.
+      registry_.counter("link_degradations", site_dim(e.site_a)).add();
+      break;
   }
 }
 

@@ -136,6 +136,61 @@ void SpanBuilder::on_event(const GridEvent& e) {
     case GridEventType::ReplicaStored:
     case GridEventType::ReplicaEvicted:
       break;  // catalog population is tracked by the timeline, not spans
+    case GridEventType::SiteFailed: {
+      // Close the bookkeeping for every in-flight transfer the crash tears
+      // down so later fetches can reopen the same keys cleanly. Fetches
+      // toward the dead site die outright (span ends uncompleted); fetches
+      // *from* it stay open — the failover updates their source below.
+      data::SiteIndex dead = e.site_a;
+      for (auto it = open_fetches_.begin(); it != open_fetches_.end();) {
+        if (it->first.first == dead) {
+          transfers_[it->second.transfer_index].end = e.time;
+          it = open_fetches_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = open_replications_.begin(); it != open_replications_.end();) {
+        const auto& [src, dst, dataset] = it->first;
+        if (src == dead || dst == dead) {
+          for (std::size_t index : it->second) transfers_[index].end = e.time;
+          it = open_replications_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      fault_marks_.push_back(e);
+      break;
+    }
+    case GridEventType::SiteRecovered:
+    case GridEventType::LinkDegraded:
+      fault_marks_.push_back(e);
+      break;
+    case GridEventType::TransferRetried: {
+      // A fetch failed over to a new source (site_a; kNoSite while parked
+      // with no live holder). Output-return retries carry no dataset and
+      // have no open fetch — the lookup simply misses.
+      auto it = open_fetches_.find({e.site_b, e.dataset});
+      if (it != open_fetches_.end() && e.site_a != data::kNoSite) {
+        transfers_[it->second.transfer_index].src = e.site_a;
+      }
+      break;
+    }
+    case GridEventType::JobResubmitted: {
+      // The job starts over: the partial phase timestamps describe a run
+      // that never finished. Keep submit/origin (and any completed fetch
+      // spans — that work really happened) and count the attempt.
+      JobSpans& j = job_mut(e.job);
+      j.dispatch = 0.0;
+      j.data_ready = 0.0;
+      j.start = 0.0;
+      j.compute_done = 0.0;
+      j.exec_site = data::kNoSite;
+      ++j.resubmissions;
+      break;
+    }
+    case GridEventType::CatalogInvalidated:
+      break;  // catalog truth-keeping is tracked per site, not per job
   }
 }
 

@@ -64,6 +64,9 @@ struct JobSpans {
 
   std::vector<FetchSpan> fetches;
   bool completed = false;
+  /// Times the job lost its execution site (or a dead placement) and went
+  /// back to the ES; the phase timestamps above describe the final attempt.
+  std::uint32_t resubmissions = 0;
 
   // Phase durations (valid once `completed`).
   [[nodiscard]] double placement_wait_s() const { return dispatch - submit; }
@@ -111,6 +114,10 @@ class SpanBuilder final : public GridObserver {
 
   [[nodiscard]] std::size_t completed_jobs() const { return completed_jobs_; }
 
+  /// Fault-stream events (site crash/recovery, link degradation), verbatim
+  /// and in order — rendered as instant markers by the trace exporter.
+  [[nodiscard]] const std::vector<GridEvent>& fault_marks() const { return fault_marks_; }
+
   /// Completed-job tally per critical-path label, indexed by CriticalPath.
   [[nodiscard]] std::array<std::uint64_t, 3> critical_path_counts() const;
 
@@ -123,6 +130,7 @@ class SpanBuilder final : public GridObserver {
 
   std::vector<JobSpans> jobs_;
   std::vector<TransferSpan> transfers_;
+  std::vector<GridEvent> fault_marks_;
   std::size_t completed_jobs_ = 0;
 
   /// In-flight fetches keyed (dest, dataset) — the coalescing key the

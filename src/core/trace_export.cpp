@@ -254,6 +254,41 @@ void write_chrome_trace(std::ostream& out, const SpanBuilder& spans,
     }
   }
 
+  // --- fault markers (instant events) ---
+  for (const GridEvent& e : spans.fault_marks()) {
+    std::string name;
+    std::uint64_t pid = grid_pid;
+    std::string scope = "p";  // process-scoped arrow in the Perfetto UI
+    switch (e.type) {
+      case GridEventType::SiteFailed:
+        name = "site crash";
+        pid = static_cast<std::uint64_t>(e.site_a);
+        break;
+      case GridEventType::SiteRecovered:
+        name = "site recovery";
+        pid = static_cast<std::uint64_t>(e.site_a);
+        break;
+      case GridEventType::LinkDegraded:
+        name = (e.mb < 1.0 ? "link degraded " : "link restored ") +
+               topology.node(static_cast<net::NodeId>(e.site_a)).name + "-" +
+               topology.node(static_cast<net::NodeId>(e.site_b)).name;
+        pid = network_pid;
+        break;
+      default:
+        continue;
+    }
+    if (pid >= site_count && pid != network_pid) pid = network_pid;
+    w.open();
+    w.field("name", name);
+    w.field("cat", std::string("fault"));
+    w.field("ph", std::string("i"));
+    w.field("s", scope);
+    w.field("pid", pid);
+    w.field("tid", std::uint64_t{0});
+    w.field("ts", e.time * kSecondsToMicros);
+    w.close();
+  }
+
   // --- grid-wide counters from the timeline ---
   if (!timeline.empty() && options.grid_counters) {
     for (const TimelineSample& s : timeline) {

@@ -1,5 +1,7 @@
 #include "data/storage.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace chicsim::data {
@@ -96,6 +98,29 @@ bool StorageManager::evict(DatasetId id) {
   drop_entry(id);
   ++stats_.evictions;
   return true;
+}
+
+std::vector<DatasetId> StorageManager::invalidate_unpinned() {
+  std::vector<DatasetId> dropped;
+  std::vector<DatasetId> victims;
+  victims.reserve(entries_.size());
+  for (auto& [id, e] : entries_) {
+    if (e.pinned) {
+      e.refcount = 0;  // referencing jobs are being killed by the caller
+    } else {
+      victims.push_back(id);
+      if (!e.transient) dropped.push_back(id);
+    }
+  }
+  for (DatasetId id : victims) {
+    Entry& e = entries_.at(id);
+    e.refcount = 0;
+    e.transient = false;  // drop_entry path; transience already accounted
+    drop_entry(id);
+    ++stats_.evictions;
+  }
+  std::sort(dropped.begin(), dropped.end());
+  return dropped;
 }
 
 bool StorageManager::is_pinned(DatasetId id) const {

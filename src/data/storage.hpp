@@ -74,6 +74,15 @@ class StorageManager {
   /// delete local files). Returns false when pinned, referenced, or absent.
   bool evict(DatasetId id);
 
+  /// Site-crash semantics: drop every unpinned entry regardless of
+  /// refcount (the referencing jobs are being killed by the caller) and
+  /// zero the refcounts of pinned masters (same reason — the master file
+  /// itself survives on durable storage). Returns the ids of dropped
+  /// *durable* entries, sorted ascending, so the caller can reconcile the
+  /// replica catalog deterministically; transient entries vanish silently
+  /// (they were never catalogued).
+  std::vector<DatasetId> invalidate_unpinned();
+
   [[nodiscard]] bool is_pinned(DatasetId id) const;
   [[nodiscard]] util::Megabytes capacity_mb() const { return capacity_mb_; }
   [[nodiscard]] util::Megabytes used_mb() const { return used_mb_; }

@@ -111,6 +111,25 @@ TransferId TransferManager::start(NodeId src, NodeId dst, util::Megabytes size_m
 
 bool TransferManager::active(TransferId id) const { return flows_.count(id) > 0; }
 
+void TransferManager::abort(TransferId id) {
+  auto it = flows_.find(id);
+  CHICSIM_ASSERT_MSG(it != flows_.end(), "abort of unknown transfer");
+  // Bytes moved so far stay in the mb-hop accounting.
+  settle();
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  if (flow.completion_event != sim::kNoEvent) (void)engine_.cancel(flow.completion_event);
+  if (flow.path != nullptr) {
+    for (LinkId l : *flow.path) {
+      CHICSIM_ASSERT(link_flow_count_[l] > 0);
+      --link_flow_count_[l];
+      mark_link_dirty(l);
+    }
+    reallocate();
+  }
+  ++stats_.transfers_aborted;
+}
+
 util::MbPerSec TransferManager::current_rate(TransferId id) const {
   auto it = flows_.find(id);
   CHICSIM_ASSERT_MSG(it != flows_.end(), "current_rate of unknown transfer");

@@ -97,6 +97,7 @@ struct TransferStats {
   double delivered_mb_hops = 0.0;
   std::uint64_t transfers_started = 0;
   std::uint64_t transfers_completed = 0;
+  std::uint64_t transfers_aborted = 0;
   std::uint64_t local_transfers = 0;
 
   // Reallocation hot-path counters (see ReallocationMode).
@@ -130,6 +131,13 @@ class TransferManager {
 
   /// True while the transfer has not completed.
   [[nodiscard]] bool active(TransferId id) const;
+
+  /// Tear down an in-flight transfer without delivering it: the completion
+  /// callback never fires, the flow's link shares are returned to the pool
+  /// and remaining flows are re-planned. Megabytes already moved stay in
+  /// the mb-hop accounting (bandwidth was genuinely consumed); nothing is
+  /// added to delivered_mb. The id must be active.
+  void abort(TransferId id);
 
   /// Number of in-flight transfers.
   [[nodiscard]] std::size_t active_count() const { return flows_.size(); }

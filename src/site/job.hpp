@@ -63,6 +63,12 @@ struct Job {
   /// fetches complete; 0 means the job is data-ready).
   std::size_t inputs_pending = 0;
 
+  /// Fault-recovery counters: how many times this job was re-queued after
+  /// losing its execution site, and how many times its output return was
+  /// restarted. Bounded by SimulationConfig::max_job_resubmissions.
+  std::uint32_t resubmissions = 0;
+  std::uint32_t output_retries = 0;
+
   // --- timestamps (virtual seconds; negative = not reached) ---
   util::SimTime submit_time = -1.0;
   util::SimTime dispatch_time = -1.0;

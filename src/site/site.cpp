@@ -28,12 +28,23 @@ void Site::remove_from_queue(JobId job) {
   queue_.erase(it);
 }
 
+std::vector<JobId> Site::drain_queue() {
+  std::vector<JobId> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
 void Site::note_job_started() { ++running_; }
 
 void Site::note_job_finished() {
   CHICSIM_ASSERT_MSG(running_ > 0, "job finished with none running");
   --running_;
   ++completed_;
+}
+
+void Site::note_job_killed() {
+  CHICSIM_ASSERT_MSG(running_ > 0, "job killed with none running");
+  --running_;
 }
 
 }  // namespace chicsim::site

@@ -26,6 +26,16 @@ class Site {
 
   [[nodiscard]] data::SiteIndex index() const { return index_; }
 
+  /// Liveness flag for fault injection. A dead site accepts no work; the
+  /// crash/recovery choreography (killing jobs, invalidating storage) is
+  /// the Grid services' responsibility — this is just the ground truth bit.
+  [[nodiscard]] bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// Empty the job queue (site-crash semantics); returns the queued ids in
+  /// arrival order so the caller can resubmit them.
+  [[nodiscard]] std::vector<JobId> drain_queue();
+
   /// Relative processor speed (1.0 = the paper's homogeneous baseline); a
   /// job's compute time here is runtime_s / speed_factor().
   [[nodiscard]] double speed_factor() const { return speed_factor_; }
@@ -52,6 +62,9 @@ class Site {
   [[nodiscard]] std::size_t running_count() const { return running_; }
   void note_job_started();
   void note_job_finished();
+  /// A running job was lost to a site crash: releases the running slot
+  /// without counting a completion.
+  void note_job_killed();
 
   /// Lifetime counters.
   [[nodiscard]] std::uint64_t jobs_dispatched_here() const { return dispatched_; }
@@ -60,6 +73,7 @@ class Site {
 
  private:
   data::SiteIndex index_;
+  bool alive_ = true;
   double speed_factor_;
   ComputePool compute_;
   data::StorageManager storage_;

@@ -58,7 +58,17 @@ Workload::Workload(const WorkloadConfig& config, const data::DatasetCatalog& cat
           input = draw();
         }
         if (std::find(job.inputs.begin(), job.inputs.end(), input) != job.inputs.end()) {
-          continue;  // give up on distinctness for pathological configs
+          // A degenerate catalog/skew combination (tiny dataset count, or a
+          // popularity distribution that collapses onto a handful of files)
+          // cannot supply distinct inputs. Silently shrinking the input set
+          // would hand downstream code jobs that violate the configured
+          // shape, so fail loudly instead.
+          throw util::SimError(
+              "workload: could not draw " + std::to_string(config.inputs_per_job) +
+              " distinct inputs for job " + std::to_string(job.id) + " after 32 attempts (" +
+              std::to_string(catalog.size()) + " datasets, geometric_p = " +
+              std::to_string(config.geometric_p) + "); reduce inputs_per_job or flatten " +
+              "the popularity skew");
         }
         job.inputs.push_back(input);
         total_gb += util::mb_to_gb(catalog.size_mb(input));

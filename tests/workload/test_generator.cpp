@@ -185,6 +185,35 @@ TEST(Workload, InvalidConfigsThrow) {
   EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
 }
 
+TEST(Workload, DegenerateCatalogCannotSupplyDistinctInputs) {
+  // One dataset but two distinct inputs per job: the bounded retry loop in
+  // the generator must give up with a descriptive error instead of spinning
+  // forever or silently shrinking the input set.
+  WorkloadConfig cfg;
+  cfg.num_users = 2;
+  cfg.jobs_per_user = 2;
+  cfg.inputs_per_job = 2;
+  util::Rng catalog_rng(11);
+  auto catalog = data::DatasetCatalog::generate_uniform(1, 500.0, 2000.0, catalog_rng);
+  util::Rng rng(11);
+  EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
+}
+
+TEST(Workload, CollapsedPopularitySkewStillFailsLoudly) {
+  // A catalog of two files with near-total skew onto the first: 32 retries
+  // cannot reliably draw a second distinct input, and the generator must
+  // refuse rather than emit malformed jobs.
+  WorkloadConfig cfg;
+  cfg.num_users = 4;
+  cfg.jobs_per_user = 25;
+  cfg.inputs_per_job = 2;
+  cfg.geometric_p = 0.9999;  // virtually every draw lands on dataset 0
+  util::Rng catalog_rng(12);
+  auto catalog = data::DatasetCatalog::generate_uniform(2, 500.0, 2000.0, catalog_rng);
+  util::Rng rng(12);
+  EXPECT_THROW(Workload(cfg, catalog, rng), util::SimError);
+}
+
 TEST(Workload, UnknownUserThrows) {
   WorkloadConfig cfg;
   cfg.num_users = 2;
