@@ -1,6 +1,6 @@
 // Figure 3 — "(a) Average response time and (b) average data transferred
-// for the various algorithms" (12 ES x DS pairs, 10 MB/s scenario, mean of
-// three seeds).
+// for the various algorithms" (12 ES x DS pairs, 10 MB/s scenario, seed
+// means; 5 seeds by default, see EXPERIMENTS.md §5.2).
 //
 // Prints both panels as tables in the paper's layout and asserts the
 // paper's qualitative findings:

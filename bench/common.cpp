@@ -19,7 +19,11 @@ namespace chicsim::bench {
 void add_standard_options(util::CliParser& cli) {
   cli.add_option("bandwidth", "10", "nominal link bandwidth in MB/s (Table 1: 10 or 100)");
   cli.add_option("jobs", "6000", "total jobs (Table 1: 6000; lower for quick runs)");
-  cli.add_option("seeds", "101,202,303", "comma-separated seed list (paper: 3 seeds)");
+  // The paper averages 3 seeds (§5.2); the default here is 5 because the
+  // JobLocal-vs-JobLeastLoaded gap without replication is within cross-seed
+  // noise at 3 — see EXPERIMENTS.md. --seeds=101,202,303 reproduces the
+  // paper's exact protocol.
+  cli.add_option("seeds", "101,202,303,404,505", "comma-separated seed list (paper: 3 seeds)");
   cli.add_option("staleness", "120", "load information staleness in seconds");
   cli.add_option("threads", "1",
                  "worker threads for the run matrix (1 = serial, 0 = all hardware threads)");

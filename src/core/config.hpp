@@ -124,7 +124,11 @@ struct SimulationConfig {
   /// Delay before re-consulting the ES for a job that lost its site or was
   /// routed to a dead one; grows exponentially per attempt (capped at 16x).
   util::SimTime resubmit_backoff_s = 60.0;
-  /// Resubmissions per job before the run aborts with an error.
+  /// Consecutive failed placements of a job before the run aborts with an
+  /// error. Like fetch_max_retries, the counter resets on a successful
+  /// dispatch, so the budget bounds one continuous placement outage (the
+  /// livelock guard), not the lifetime total of crash-kills a long faulty
+  /// run can inflict on an unlucky job.
   std::size_t max_job_resubmissions = 40;
 
   std::uint64_t seed = 1;

@@ -141,6 +141,7 @@ class FetchPlanner final {
   util::Rng rng_faults_;  ///< per-transfer failure draws; untouched otherwise
 
   /// Per destination site: datasets currently being fetched there.
+  // detlint: order-insensitive: keyed lookups only; crash teardown snapshots the keys and sorts them before acting
   std::vector<std::unordered_map<data::DatasetId, PendingFetch>> pending_fetches_;
 
   std::uint64_t remote_fetches_ = 0;

@@ -151,11 +151,12 @@ void JobLifecycle::resubmit_with_backoff(site::Job& job, data::SiteIndex strande
   CHICSIM_ASSERT_MSG(job.state == site::JobState::Submitted,
                      "only submitted jobs can be resubmitted");
   ++job.resubmissions;
+  ++job.reschedule_generation;
   ++jobs_resubmitted_;
   if (job.resubmissions > config_.max_job_resubmissions) {
     throw util::SimError(job.describe() + " exceeded max_job_resubmissions (" +
                          std::to_string(config_.max_job_resubmissions) +
-                         "); the grid cannot place it");
+                         " consecutive); the grid cannot place it");
   }
   events_.emit(GridEvent{GridEventType::JobResubmitted, 0.0, job.id, data::kNoDataset,
                          stranded_site, data::kNoSite, 0.0});
@@ -170,6 +171,11 @@ void JobLifecycle::resubmit_with_backoff(site::Job& job, data::SiteIndex strande
 }
 
 void JobLifecycle::dispatch(site::Job& job, data::SiteIndex dest) {
+  // Placement succeeded: the consecutive-failure budget (and with it the
+  // backoff escalation) starts over. Without this reset a long faulty run
+  // can kill an unlucky job's site 40 separate times across many hours and
+  // trip the livelock guard on accumulated bad luck.
+  job.resubmissions = 0;
   job.exec_site = dest;
   job.dispatch_time = engine_.now();
   job.state = site::JobState::Queued;
@@ -260,12 +266,12 @@ void JobLifecycle::start_output_return(site::JobId id, util::Megabytes output_mb
     }
     events_.emit(GridEvent{GridEventType::TransferRetried, 0.0, id, data::kNoDataset,
                            data::kNoSite, job.origin_site, output_mb});
-    std::uint32_t generation = job.resubmissions;
+    std::uint32_t generation = job.reschedule_generation;
     engine_.schedule_in(config_.resubmit_backoff_s, "output_retry",
                         [this, id, output_mb, generation] {
                           site::Job& j = job_mut(id);
                           if (j.state != site::JobState::ReturningOutput ||
-                              j.resubmissions != generation) {
+                              j.reschedule_generation != generation) {
                             return;
                           }
                           start_output_return(id, output_mb);

@@ -120,10 +120,12 @@ class ReplicationDriver final {
   };
 
   /// Replication pushes in flight, keyed (dataset, dest) to avoid duplicates.
+  // detlint: order-insensitive: keyed lookups only; on_site_crashed collects the doomed records and sorts by (dataset, dest)
   std::unordered_map<std::uint64_t, PushRecord> pending_pushes_;
   /// In-flight replication pushes per destination site.
   std::vector<std::size_t> inbound_pushes_;
   /// Per site: how often each remote site's community fetched each local dataset.
+  // detlint: order-insensitive: top_requester() scans with a total (count, site-index) tiebreak, so any walk order wins
   std::vector<std::unordered_map<data::DatasetId,
                                  std::unordered_map<data::SiteIndex, std::uint64_t>>>
       requester_counts_;

@@ -41,6 +41,7 @@ class SiteMetricsObserver final : public GridObserver {
   std::vector<std::string> site_dims_;
   std::vector<std::string> link_dims_;
   /// Dispatch time per job, for the per-site queue-wait histogram.
+  // detlint: order-insensitive: per-job lookup/erase only, never iterated
   std::unordered_map<site::JobId, util::SimTime> dispatch_time_;
 };
 

@@ -54,6 +54,7 @@ class PopularityTracker {
   [[nodiscard]] double decayed(const Cell& cell, util::SimTime now) const;
 
   util::SimTime half_life_s_;
+  // detlint: order-insensitive: per-cell decay is pure; over_threshold() sorts by (count, id) before returning
   std::unordered_map<DatasetId, Cell> counts_;
   std::uint64_t total_ = 0;
 };

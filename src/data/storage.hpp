@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -111,7 +111,10 @@ class StorageManager {
 
   util::Megabytes capacity_mb_;
   util::Megabytes used_mb_ = 0.0;
-  std::unordered_map<DatasetId, Entry> entries_;
+  /// Ordered by DatasetId so invalidate_unpinned() wipes (and subtracts
+  /// used_mb_, an FP sum) in id order and held() is sorted on every
+  /// platform; with a hash map both orders would leak bucket layout.
+  std::map<DatasetId, Entry> entries_;
   std::list<DatasetId> lru_;  ///< front = most recently used
   StorageStats stats_;
 };

@@ -86,7 +86,8 @@ TransferId TransferManager::start(NodeId src, NodeId dst, util::Megabytes size_m
     flow.path = nullptr;
     flow.completion_event =
         engine_.schedule_in(0.0, "transfer_completion", [this, id] { on_completion_event(id); });
-    flows_.emplace(id, std::move(flow));
+    CHICSIM_ASSERT(flows_.empty() || flows_.back().first < id);  // keeps the vector sorted
+    flows_.emplace_back(id, std::move(flow));
     return id;
   }
 
@@ -104,15 +105,28 @@ TransferId TransferManager::start(NodeId src, NodeId dst, util::Megabytes size_m
     ++link_flow_count_[l];
     mark_link_dirty(l);
   }
-  flows_.emplace(id, std::move(flow));
+  CHICSIM_ASSERT(flows_.empty() || flows_.back().first < id);  // keeps the vector sorted
+  flows_.emplace_back(id, std::move(flow));
   reallocate();
   return id;
 }
 
-bool TransferManager::active(TransferId id) const { return flows_.count(id) > 0; }
+TransferManager::FlowVec::iterator TransferManager::find_flow(TransferId id) {
+  auto it = std::lower_bound(flows_.begin(), flows_.end(), id,
+                             [](const auto& entry, TransferId key) { return entry.first < key; });
+  return it != flows_.end() && it->first == id ? it : flows_.end();
+}
+
+TransferManager::FlowVec::const_iterator TransferManager::find_flow(TransferId id) const {
+  auto it = std::lower_bound(flows_.begin(), flows_.end(), id,
+                             [](const auto& entry, TransferId key) { return entry.first < key; });
+  return it != flows_.end() && it->first == id ? it : flows_.end();
+}
+
+bool TransferManager::active(TransferId id) const { return find_flow(id) != flows_.end(); }
 
 void TransferManager::abort(TransferId id) {
-  auto it = flows_.find(id);
+  auto it = find_flow(id);
   CHICSIM_ASSERT_MSG(it != flows_.end(), "abort of unknown transfer");
   // Bytes moved so far stay in the mb-hop accounting.
   settle();
@@ -131,13 +145,13 @@ void TransferManager::abort(TransferId id) {
 }
 
 util::MbPerSec TransferManager::current_rate(TransferId id) const {
-  auto it = flows_.find(id);
+  auto it = find_flow(id);
   CHICSIM_ASSERT_MSG(it != flows_.end(), "current_rate of unknown transfer");
   return it->second.rate;
 }
 
 util::Megabytes TransferManager::remaining_mb(TransferId id) const {
-  auto it = flows_.find(id);
+  auto it = find_flow(id);
   CHICSIM_ASSERT_MSG(it != flows_.end(), "remaining_mb of unknown transfer");
   const Flow& f = it->second;
   double dt = engine_.now() - last_settle_;
@@ -298,7 +312,7 @@ void TransferManager::compute_rates_max_min() {
 }
 
 void TransferManager::on_completion_event(TransferId id) {
-  auto it = flows_.find(id);
+  auto it = find_flow(id);
   CHICSIM_ASSERT_MSG(it != flows_.end(), "completion event for unknown transfer");
   it->second.completion_event = sim::kNoEvent;
   if (it->second.path != nullptr) {
@@ -311,7 +325,7 @@ void TransferManager::on_completion_event(TransferId id) {
 }
 
 void TransferManager::finish(TransferId id) {
-  auto it = flows_.find(id);
+  auto it = find_flow(id);
   CHICSIM_ASSERT(it != flows_.end());
   Flow flow = std::move(it->second);
   flows_.erase(it);

@@ -29,7 +29,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/routing.hpp"
@@ -221,6 +221,12 @@ class TransferManager {
   void on_completion_event(TransferId id);
   void finish(TransferId id);
 
+  using FlowVec = std::vector<std::pair<TransferId, Flow>>;
+
+  /// Binary search by id (flows_ is sorted); end() when not active.
+  [[nodiscard]] FlowVec::iterator find_flow(TransferId id);
+  [[nodiscard]] FlowVec::const_iterator find_flow(TransferId id) const;
+
   sim::Engine& engine_;
   const Topology& topo_;
   const Routing& routing_;
@@ -229,7 +235,16 @@ class TransferManager {
   /// Effective capacity of a link right now (nominal x scale).
   [[nodiscard]] double capacity(LinkId link) const;
 
-  std::unordered_map<TransferId, Flow> flows_;
+  /// Sorted by TransferId: ids are handed out by an increasing counter, so
+  /// emplace_back keeps the vector ordered and iteration is creation order
+  /// on every platform. settle() and reallocate() walk this container, and
+  /// that walk order decides both the summation order of delivered_mb_hops
+  /// and the EventId assignment order of rescheduled completions — with a
+  /// hash map it would be a function of libc++ bucket internals instead. A
+  /// contiguous vector keeps those walks (the reallocation hot path) cache
+  /// friendly; lookups binary-search, erase shifts the tail (both are once
+  /// per transfer event, the walks happen several times per event).
+  std::vector<std::pair<TransferId, Flow>> flows_;
   std::vector<std::size_t> link_flow_count_;
   std::vector<util::SimTime> link_busy_time_;
   std::vector<double> link_scale_;

@@ -81,6 +81,7 @@ class EventQueue {
   static constexpr std::size_t kCompactionMinHeap = 64;
 
   std::vector<Event> heap_;
+  // detlint: order-insensitive: membership-only sets; delivery order is the (time, id) heap order
   std::unordered_set<EventId> pending_;    ///< live, cancellable ids
   std::unordered_set<EventId> cancelled_;  ///< tombstones still in the heap
   std::size_t peak_heap_size_ = 0;

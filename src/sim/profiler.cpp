@@ -11,6 +11,7 @@ namespace chicsim::sim {
 
 namespace {
 double steady_seconds() {
+  // detlint: allow(wall-clock): the opt-in profiler measures real handler cost; it never feeds simulated state
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();

@@ -74,6 +74,7 @@ class EngineProfiler {
   /// pointer cache below avoids the string lookup on the hot record() path
   /// (scheduling sites pass string literals, so the pointer repeats).
   std::map<std::string, util::HistogramMetric> by_tag_;
+  // detlint: order-insensitive: never-iterated pointer->slot cache; reports walk the sorted by_tag_
   std::unordered_map<const char*, util::HistogramMetric*> cache_;
   std::uint64_t events_ = 0;
   double handler_s_ = 0.0;

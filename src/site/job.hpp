@@ -63,11 +63,17 @@ struct Job {
   /// fetches complete; 0 means the job is data-ready).
   std::size_t inputs_pending = 0;
 
-  /// Fault-recovery counters: how many times this job was re-queued after
-  /// losing its execution site, and how many times its output return was
-  /// restarted. Bounded by SimulationConfig::max_job_resubmissions.
+  /// Fault-recovery counters: consecutive re-queues since the last
+  /// successful dispatch (reset when the ES places the job on a live
+  /// site), and how many times the output return was restarted. Both
+  /// bounded by SimulationConfig::max_job_resubmissions.
   std::uint32_t resubmissions = 0;
   std::uint32_t output_retries = 0;
+
+  /// Total re-queues over the job's lifetime; never reset. Pending
+  /// callbacks capture it to detect that the job was resubmitted under
+  /// them and drop themselves as stale.
+  std::uint32_t reschedule_generation = 0;
 
   // --- timestamps (virtual seconds; negative = not reached) ---
   util::SimTime submit_time = -1.0;

@@ -95,6 +95,7 @@ class MetricRegistry {
   /// Deque, not vector: returned instrument references stay valid as later
   /// registrations grow the registry.
   std::deque<Entry> entries_;                          ///< creation order
+  // detlint: order-insensitive: lookup-only index; iteration/output order comes from entries_
   std::unordered_map<std::string, std::size_t> index_; ///< "name\x1f;dim" -> slot
 };
 

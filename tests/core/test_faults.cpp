@@ -270,6 +270,37 @@ TEST(Faults, CrashHeavyStochasticRunStillCompletesEveryJob) {
   audit_grid(grid);
 }
 
+TEST(Faults, ResubmissionBudgetBoundsConsecutiveFailuresNotLifetime) {
+  // max_job_resubmissions is the livelock guard: it bounds CONSECUTIVE
+  // failed placements and resets once the ES lands the job on a live site.
+  // Regression: the counter used to accumulate over the job's lifetime, so
+  // a JobLocal job whose home site crashed in enough separate episodes
+  // (each individually within budget) aborted the run with "the grid
+  // cannot place it" even though it was making progress between episodes.
+  SimulationConfig cfg = small_config();
+  cfg.es = EsAlgorithm::JobLocal;  // pinned to home: every episode hits it
+  cfg.max_job_resubmissions = 2;
+  Grid grid(cfg);
+  // Seven 100 s outages of site 1, 400 s apart. Within one episode a job
+  // is hit at most twice (killed/held at the crash, held once more at the
+  // 60 s retry; the 180 s one lands after recovery) — inside the budget of
+  // 2. Across the run, site-1 jobs take far more than 2 hits total.
+  FaultPlan plan;
+  for (int k = 0; k < 7; ++k) {
+    plan.crash_site(100.0 + 400.0 * k, 1).recover_site(200.0 + 400.0 * k, 1);
+  }
+  grid.add_fault_plan(std::move(plan));
+  grid.run();
+
+  EXPECT_EQ(grid.metrics().jobs_completed, cfg.total_jobs);
+  EXPECT_EQ(grid.fault_stats().site_crashes, 7u);
+  // The lifetime total across site-1 jobs dwarfs the per-episode budget —
+  // the scenario the old accumulate-forever counter rejected.
+  EXPECT_GT(grid.metrics().jobs_resubmitted,
+            static_cast<std::uint64_t>(cfg.max_job_resubmissions));
+  audit_grid(grid);
+}
+
 TEST(Faults, ScriptedPlanValidationRejectsNonsense) {
   SimulationConfig cfg = small_config();
   Grid grid(cfg);

@@ -1,7 +1,10 @@
-// The paper's findings as a test suite: one full Table 1 matrix run
-// (single seed for test-time budget; the bench binaries average three) and
-// the qualitative claims of §5.3-§5.4 asserted directly. If a model change
-// breaks the reproduction, `ctest` fails — not just the bench harness.
+// The paper's findings as a test suite: one full Table 1 matrix run,
+// seed-averaged, and the qualitative claims of §5.3-§5.4 asserted
+// directly. §5.2 averages three seeds; we use five because the
+// JobLocal-vs-JobLeastLoaded gap without replication is within noise on
+// smaller samples (a single seed, or even the paper's three, can flip it).
+// If a model change breaks the reproduction, `ctest` fails — not just the
+// bench harness.
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
@@ -13,7 +16,7 @@ class PaperReproduction : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     SimulationConfig cfg;  // Table 1 defaults
-    ExperimentRunner runner(cfg, {101});
+    ExperimentRunner runner(cfg, {101, 202, 303, 404, 505});
     cells_ = new std::vector<CellResult>(
         runner.run_matrix(paper_es_algorithms(), paper_ds_algorithms()));
   }

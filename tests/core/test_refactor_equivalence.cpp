@@ -1,12 +1,25 @@
-// A/B equivalence anchor for the service decomposition: the refactored
-// engine must be *bit-identical* to the pre-refactor monolithic Grid.
+// Bit-identity anchor for the whole engine: any drift in event order, RNG
+// draw order or arithmetic shows up here first.
 //
-// The goldens below were captured by running the monolith (commit 9fabf88)
-// over the full 4x3 paper algorithm matrix, two seeds each, with exact
-// information (info_staleness_s = 0); metrics are recorded as hexfloats so
-// the comparison is exact, not within-epsilon. Any drift in event order,
-// RNG draw order or arithmetic shows up here first.
+// The goldens were originally captured from the pre-refactor monolithic
+// Grid (commit 9fabf88) to prove the service decomposition exact, and were
+// re-captured once after the determinism fix that ordered
+// TransferManager::flows_ by TransferId: the old trajectory depended on
+// libstdc++ hash-bucket iteration order (EventIds for rescheduled
+// completions were assigned in hash-walk order, and simultaneous
+// completions pop in EventId order), so fixing the walk to creation order
+// legitimately moved the goldens. The determinism contract itself is
+// unchanged and re-proven: the full 4x3 paper algorithm matrix, two seeds
+// each, with exact information (info_staleness_s = 0); metrics recorded as
+// hexfloats so the comparison is exact, not within-epsilon.
+//
+// To re-capture after an *intentional* trajectory change (document why in
+// the commit), run with CHICSIM_REGEN_GOLDENS=1 and the gtest filter
+// 'RefactorEquivalence.*', then paste the printed table below.
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/algorithms.hpp"
 #include "core/experiment.hpp"
@@ -30,41 +43,41 @@ struct GoldenRow {
 // clang-format off
 const GoldenRow kGolden[] = {
     {EsAlgorithm::JobRandom, DsAlgorithm::DataDoNothing, 1,
-     0x1.3c42c5ba1a0edp+12, 0x1.1525471133c79p+9, 0x1.6133c7ed2755dp+9,
-     0x1.a1784131153cbp+7, 37, 0, 188},
+     0x1.4696897e2aa2bp+12, 0x1.19017fc3281cep+9, 0x1.6674b21a3243p+9,
+     0x1.b0e923f8e6917p+7, 38, 0, 190},
     {EsAlgorithm::JobRandom, DsAlgorithm::DataDoNothing, 2,
-     0x1.3b8b50ee8e332p+12, 0x1.1f1f0c893e8d6p+9, 0x1.4983eee4c3fecp+9,
-     0x1.e94d9659ae72ap+7, 37, 0, 188},
+     0x1.4463522259234p+12, 0x1.20ddfc6afa34p+9, 0x1.38ce699cfca49p+9,
+     0x1.f04955e09d0d7p+7, 36, 0, 188},
     {EsAlgorithm::JobRandom, DsAlgorithm::DataRandom, 1,
-     0x1.54aee2bb78b57p+12, 0x1.23caa5f6b4b3cp+9, 0x1.9ff45a8d90c7ap+9,
-     0x1.dc0dbcc718edp+7, 33, 10, 196},
+     0x1.54aee2bb78b57p+12, 0x1.23caa5f6b4b3bp+9, 0x1.9ff45a8d90c7ap+9,
+     0x1.dc0dbcc718ecfp+7, 33, 10, 196},
     {EsAlgorithm::JobRandom, DsAlgorithm::DataRandom, 2,
-     0x1.627b2abe8c79fp+12, 0x1.27944b7f3588fp+9, 0x1.7fe06253958dfp+9,
-     0x1.05914918c5301p+8, 35, 8, 196},
+     0x1.48766fb45a76fp+12, 0x1.24eca14b2e978p+9, 0x1.823437d307748p+9,
+     0x1.0041f4b0b74d8p+8, 37, 5, 194},
     {EsAlgorithm::JobRandom, DsAlgorithm::DataLeastLoaded, 1,
-     0x1.5f784076f2825p+12, 0x1.2d0d76d562c5fp+9, 0x1.967a8ab294075p+9,
-     0x1.008c8020e89aep+8, 34, 8, 195},
+     0x1.5e32cc0fc5955p+12, 0x1.2ca355080cb3ap+9, 0x1.967a8ab294075p+9,
+     0x1.ff70790c78ec9p+7, 34, 8, 195},
     {EsAlgorithm::JobRandom, DsAlgorithm::DataLeastLoaded, 2,
-     0x1.70968f86afda1p+12, 0x1.2ae919eae42ebp+9, 0x1.853d82b672b72p+9,
-     0x1.0c3ae5f0227cp+8, 35, 8, 197},
+     0x1.5847a935d58c9p+12, 0x1.34c076338059ap+9, 0x1.6b539486a981fp+9,
+     0x1.1fe99e815ad2p+8, 36, 4, 193},
     {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataDoNothing, 1,
      0x1.43b719d7067f7p+12, 0x1.20bcc5fe12676p+9, 0x1.6cec013ae8004p+9,
      0x1.cfd63ce48fbc1p+7, 37, 0, 189},
     {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataDoNothing, 2,
-     0x1.33a05b6eb30a2p+12, 0x1.05fcd2edc3d42p+9, 0x1.6a85e7055fcaep+9,
-     0x1.84c4afebc38dp+7, 40, 0, 191},
+     0x1.4007e2e44ad5ep+12, 0x1.0c189b12340d5p+9, 0x1.4d4cb4eeab299p+9,
+     0x1.9d33d07d8471ep+7, 37, 0, 189},
     {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataRandom, 1,
      0x1.3dec2700b3d89p+12, 0x1.1de534f4640a8p+9, 0x1.85105eb69bbeep+9,
      0x1.c477f8bdd6487p+7, 32, 9, 192},
     {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataRandom, 2,
-     0x1.2f2ae16971ad1p+12, 0x1.09c7831fc064bp+9, 0x1.517bd51c98bf9p+9,
-     0x1.93ef70b3b5cf6p+7, 32, 6, 189},
+     0x1.56ff5f55d120ep+12, 0x1.1a771e8c983c7p+9, 0x1.aa0ed59c82b6ep+9,
+     0x1.d6adde67152e9p+7, 41, 5, 199},
     {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataLeastLoaded, 1,
      0x1.46314865d6effp+12, 0x1.23edf2ec6b717p+9, 0x1.ac312e4020df5p+9,
      0x1.dc9af09df3e37p+7, 35, 9, 196},
     {EsAlgorithm::JobLeastLoaded, DsAlgorithm::DataLeastLoaded, 2,
-     0x1.374daa1c6e043p+12, 0x1.08523546e3519p+9, 0x1.4cc6681aa2a96p+9,
-     0x1.8e1a395041837p+7, 31, 7, 189},
+     0x1.3c662ff693848p+12, 0x1.0eee82de429cap+9, 0x1.638fcf9b45449p+9,
+     0x1.a88b6fadbeafp+7, 35, 5, 191},
     {EsAlgorithm::JobDataPresent, DsAlgorithm::DataDoNothing, 1,
      0x1.9177f070e57cp+11, 0x1.6985cdd0b6d62p+8, 0x0p+0,
      0x1.feec08db3ca9ep+3, 0, 0, 145},
@@ -120,6 +133,23 @@ SimulationConfig golden_config() {
 TEST(RefactorEquivalence, MatrixIsBitIdenticalToMonolithGoldens) {
   ExperimentRunner runner(golden_config(), {1, 2});
   auto cells = runner.run_matrix(paper_es_algorithms(), paper_ds_algorithms());
+
+  if (std::getenv("CHICSIM_REGEN_GOLDENS") != nullptr) {
+    for (const auto& cell : cells) {
+      for (std::size_t s = 0; s < cell.per_seed.size(); ++s) {
+        const RunMetrics& m = cell.per_seed[s];
+        std::printf("    {EsAlgorithm::%s, DsAlgorithm::%s, %llu,\n"
+                    "     %a, %a, %a,\n     %a, %llu, %llu, %llu},\n",
+                    to_string(cell.es), to_string(cell.ds),
+                    static_cast<unsigned long long>(s + 1), m.makespan_s,
+                    m.avg_response_time_s, m.avg_data_per_job_mb, m.avg_queue_wait_s,
+                    static_cast<unsigned long long>(m.remote_fetches),
+                    static_cast<unsigned long long>(m.replications),
+                    static_cast<unsigned long long>(m.events_executed));
+      }
+    }
+    GTEST_SKIP() << "golden regeneration mode: table printed, nothing asserted";
+  }
 
   std::size_t row = 0;
   for (const auto& cell : cells) {

@@ -1,0 +1,13 @@
+// detlint fixture: annotation abuse must be flagged.
+#include <unordered_map>
+
+struct Bad {
+  // A reason-free annotation is itself a violation [bad-annotation], and it
+  // does not silence the container finding.
+  // detlint: order-insensitive:
+  std::unordered_map<int, int> silenced_without_reason;
+};
+
+// An annotation pointing at nothing is a [stale-annotation].
+// detlint: allow(wall-clock): profiling only
+int unrelated() { return 0; }

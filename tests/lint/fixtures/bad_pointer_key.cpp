@@ -1,0 +1,13 @@
+// detlint fixture: pointer-keyed ordered containers must be flagged as
+// [pointer-key] (iteration order is address order → varies under ASLR).
+#include <map>
+#include <set>
+
+struct Job {
+  int id;
+};
+
+struct Queue {
+  std::map<Job*, double> priority_by_job;
+  std::set<const Job*> blocked;
+};

@@ -1,0 +1,9 @@
+// detlint fixture: every pattern here must be flagged as [raw-rand].
+#include <cstdlib>
+#include <random>
+
+int draw_broken() {
+  srand(42);
+  std::random_device rd;
+  return rand() + static_cast<int>(rd());
+}

@@ -1,0 +1,17 @@
+// detlint fixture: unannotated unordered containers must be flagged as
+// [unordered-container].
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct SchedulerState {
+  std::unordered_map<std::uint64_t, double> load_by_site;
+  std::unordered_set<std::string> hot_datasets;
+};
+
+double total_load(const SchedulerState& s) {
+  double sum = 0.0;
+  for (const auto& [site, load] : s.load_by_site) sum += load;
+  return sum;
+}

@@ -1,0 +1,14 @@
+// detlint fixture: every pattern here must be flagged as [wall-clock].
+#include <chrono>
+#include <ctime>
+
+double sim_now_broken() {
+  auto t = std::chrono::system_clock::now();
+  auto s = std::chrono::steady_clock::now();
+  (void)s;
+  std::time_t raw = time(nullptr);
+  (void)raw;
+  long ticks = clock();
+  (void)ticks;
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,24 @@
+// detlint fixture: must produce zero findings.
+//
+// Prose mentions of std::unordered_map<int, int> in comments are fine, and
+// so are annotated sites with a one-line justification.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct CleanState {
+  std::map<std::uint64_t, double> load_by_site;  // ordered: iteration is id order
+  // detlint: order-insensitive: lookup-only cache, never iterated
+  std::unordered_map<std::string, std::size_t> name_index;
+  std::vector<double> samples;
+};
+
+const char* describe() { return "uses time( and rand( only inside a string"; }
+
+double total(const CleanState& s) {
+  double sum = 0.0;
+  for (const auto& [site, load] : s.load_by_site) sum += load;
+  return sum;
+}

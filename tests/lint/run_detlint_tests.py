@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/detlint/detlint.py (ctest label: lint).
+
+Each bad_*.cpp fixture must make detlint exit non-zero and report the rule
+named in the fixture's expectations below; clean.cpp must exit zero with no
+findings. Run directly or through ctest:
+
+    python3 tests/lint/run_detlint_tests.py \
+        --detlint tools/detlint/detlint.py --fixtures tests/lint/fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+# fixture -> rules that must each appear in the output, with expected exit 1.
+EXPECT_VIOLATIONS = {
+    "bad_wall_clock.cpp": ["wall-clock"],
+    "bad_raw_rand.cpp": ["raw-rand"],
+    "bad_unordered.cpp": ["unordered-container"],
+    "bad_pointer_key.cpp": ["pointer-key"],
+    "bad_annotations.cpp": ["bad-annotation", "unordered-container", "stale-annotation"],
+}
+
+# Rules that must NOT fire on each fixture (guards against cross-talk, e.g.
+# `time(` inside a string literal tripping wall-clock on the clean file).
+EXPECT_ABSENT = {
+    "clean.cpp": ["wall-clock", "raw-rand", "unordered-container", "pointer-key",
+                  "bad-annotation", "stale-annotation"],
+    "bad_wall_clock.cpp": ["raw-rand", "unordered-container"],
+    "bad_raw_rand.cpp": ["wall-clock", "unordered-container"],
+}
+
+# Minimum violation count per fixture (every hazard line must be caught,
+# not just the first).
+EXPECT_MIN_COUNT = {
+    "bad_wall_clock.cpp": 4,  # system_clock, steady_clock, time(, clock(
+    "bad_raw_rand.cpp": 3,    # srand, random_device, rand
+    "bad_unordered.cpp": 2,   # map decl + set decl
+    "bad_pointer_key.cpp": 2, # map<Job*,..> + set<const Job*>
+}
+
+
+def run_detlint(detlint: Path, fixture: Path) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(detlint), "--baseline", "none", "--root",
+         str(fixture.parent), str(fixture.name)],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--detlint", required=True, type=Path)
+    parser.add_argument("--fixtures", required=True, type=Path)
+    args = parser.parse_args()
+
+    failures: list[str] = []
+
+    for name, rules in EXPECT_VIOLATIONS.items():
+        fixture = args.fixtures / name
+        code, out = run_detlint(args.detlint, fixture)
+        if code != 1:
+            failures.append(f"{name}: expected exit 1, got {code}\n{out}")
+            continue
+        for rule in rules:
+            if f"[{rule}]" not in out:
+                failures.append(f"{name}: expected a [{rule}] finding\n{out}")
+        want = EXPECT_MIN_COUNT.get(name, 1)
+        got = out.count("] ")
+        if got < want:
+            failures.append(f"{name}: expected >= {want} findings, saw {got}\n{out}")
+
+    clean = args.fixtures / "clean.cpp"
+    code, out = run_detlint(args.detlint, clean)
+    if code != 0:
+        failures.append(f"clean.cpp: expected exit 0, got {code}\n{out}")
+
+    for name, rules in EXPECT_ABSENT.items():
+        _, out = run_detlint(args.detlint, args.fixtures / name)
+        for rule in rules:
+            if f"[{rule}]" in out:
+                failures.append(f"{name}: unexpected [{rule}] finding\n{out}")
+
+    if failures:
+        print("\n".join(failures))
+        print(f"detlint fixture tests: {len(failures)} FAILED")
+        return 1
+    print("detlint fixture tests: all passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
